@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration (mirrors the repository conftest)."""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

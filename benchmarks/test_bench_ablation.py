@@ -1,0 +1,43 @@
+"""Ablation benchmarks: HOCL matching cost and status-update traffic.
+
+These back the design discussion of DESIGN.md rather than a specific figure:
+(a) the pattern-matching cost grows with the solution size (the effect the
+paper cites to explain Fig. 12's growth), and (b) shared-space status updates
+account for a visible but bounded share of the coordination traffic.
+"""
+
+from __future__ import annotations
+
+from repro.bench import (
+    format_ablation,
+    run_matching_cost_ablation,
+    run_status_update_ablation,
+)
+
+
+def test_ablation_matching_cost(benchmark):
+    """HOCL reduction work grows with the multiset size."""
+    rows = benchmark.pedantic(run_matching_cost_ablation, rounds=1, iterations=1)
+    status_rows = run_status_update_ablation()
+    print()
+    print(format_ablation(rows, status_rows))
+
+    sizes = [row["solution_size"] for row in rows]
+    attempts = [row["match_attempts"] for row in rows]
+    reactions = [row["reactions"] for row in rows]
+    assert sizes == sorted(sizes)
+    assert attempts == sorted(attempts)
+    # getMax reduces n integers with n-1 reactions
+    assert all(reaction == size - 1 for reaction, size in zip(reactions, sizes))
+    # every run ends with exactly the maximum plus the rule
+    assert all(row["final_size"] == 2 for row in rows)
+
+
+def test_ablation_status_updates(benchmark):
+    """Disabling shared-space status updates reduces traffic but not results."""
+    rows = benchmark.pedantic(run_status_update_ablation, rounds=1, iterations=1)
+    with_updates = next(row for row in rows if row["status_updates"])
+    without_updates = next(row for row in rows if not row["status_updates"])
+    assert with_updates["succeeded"] and without_updates["succeeded"]
+    assert with_updates["messages"] > without_updates["messages"]
+    assert with_updates["execution_time"] >= without_updates["execution_time"]

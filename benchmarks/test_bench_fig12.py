@@ -1,0 +1,79 @@
+"""Benchmark reproducing Fig. 12 — coordination timespan of diamond workflows.
+
+Regenerates the two surfaces (simple-connected and fully-connected) and
+checks the trends the paper reports: time grows with both dimensions, the
+vertical dimension has the steeper slope, and the fully-connected flavour is
+several times more expensive at equal size.
+
+Run ``GINFLOW_FULL=1 pytest benchmarks/test_bench_fig12.py --benchmark-only``
+to sweep the paper's full 31×31 grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_fig12, run_fig12
+from repro.runtime import GinFlowConfig, run_simulation
+from repro.workflow import diamond_workflow
+
+
+def _point(rows, connectivity, horizontal, vertical):
+    for row in rows:
+        if (
+            row["connectivity"] == connectivity
+            and row["horizontal"] == horizontal
+            and row["vertical"] == vertical
+        ):
+            return row
+    raise KeyError((connectivity, horizontal, vertical))
+
+
+def test_fig12_surfaces(benchmark):
+    """Reproduce the Fig. 12 sweep and check its shape."""
+    rows = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    print()
+    print(format_fig12(rows))
+
+    assert all(row["succeeded"] for row in rows)
+
+    sizes = sorted({row["horizontal"] for row in rows})
+    small, large = sizes[0], sizes[-1]
+    for connectivity in ("simple", "full"):
+        # grows along the vertical dimension
+        assert (
+            _point(rows, connectivity, small, large)["coordination_time"]
+            > _point(rows, connectivity, small, small)["coordination_time"]
+        )
+        # grows along the horizontal dimension
+        assert (
+            _point(rows, connectivity, large, large)["coordination_time"]
+            > _point(rows, connectivity, small, large)["coordination_time"]
+        )
+        # vertical slope is steeper than horizontal slope (paper, Section V-A)
+        vertical_growth = (
+            _point(rows, connectivity, small, large)["coordination_time"]
+            - _point(rows, connectivity, small, small)["coordination_time"]
+        )
+        horizontal_growth = (
+            _point(rows, connectivity, large, small)["coordination_time"]
+            - _point(rows, connectivity, small, small)["coordination_time"]
+        )
+        assert vertical_growth > horizontal_growth
+
+    # fully connected is markedly more expensive than simple connected
+    simple_large = _point(rows, "simple", large, large)["coordination_time"]
+    full_large = _point(rows, "full", large, large)["coordination_time"]
+    assert full_large > 1.5 * simple_large
+
+
+def test_fig12_single_cell_benchmark(benchmark):
+    """Time one representative cell (11x11 simple) for regression tracking."""
+    workflow = diamond_workflow(11, 11, connectivity="simple", duration=0.1)
+    config = GinFlowConfig(nodes=25, collect_timeline=False)
+
+    def run_once():
+        return run_simulation(workflow, config)
+
+    report = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    assert report.succeeded

@@ -1,0 +1,42 @@
+"""Benchmark reproducing Fig. 13 — adaptiveness overhead ratio.
+
+For every scenario (simple→simple, simple→full, full→simple) and square
+configuration, compute the ratio between the execution time with adaptation
+(error raised on the last body service, whole body replaced on the fly) and
+the execution time of the regular workflow.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_fig13, run_fig13
+
+
+def _rows_for(rows, scenario):
+    return [row for row in rows if row["scenario"] == scenario]
+
+
+def test_fig13_adaptiveness_ratio(benchmark):
+    """Reproduce the Fig. 13 ratios and check the paper's bounds."""
+    rows = benchmark.pedantic(run_fig13, rounds=1, iterations=1)
+    print()
+    print(format_fig13(rows))
+
+    assert all(row["succeeded"] for row in rows)
+    assert all(row["adaptations_triggered"] == 1 for row in rows)
+
+    # Scenario 1 (simple to simple): the ratio never exceeds ~2 — adapting is
+    # cheaper than a full re-execution (which would cost at least 2x).
+    for row in _rows_for(rows, "simple-to-simple"):
+        assert row["ratio"] < 2.3, row
+
+    # Scenario 2 (simple to full): for configurations larger than 1x1 the
+    # ratio stays in the 2-3 range (paper: "between 2 and 3").
+    for row in _rows_for(rows, "simple-to-full"):
+        if row["size"] > 1:
+            assert row["ratio"] < 3.5, row
+
+    # Scenario 3 (full to simple): the ratio remains constant or decreases as
+    # the configuration grows.
+    full_to_simple = sorted(_rows_for(rows, "full-to-simple"), key=lambda row: row["size"])
+    ratios = [row["ratio"] for row in full_to_simple if row["size"] > 1]
+    assert ratios == sorted(ratios, reverse=True) or max(ratios) - min(ratios) < 0.6

@@ -1,0 +1,46 @@
+"""Benchmark reproducing Fig. 14 — executor / messaging middleware impact.
+
+Runs the 10×10 simple-connected diamond under every executor × broker
+combination for 5, 10 and 15 nodes and reports deployment and execution
+times separately, as the paper's stacked bars do.
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_fig14, run_fig14
+
+
+def _row(rows, executor, broker, nodes):
+    for row in rows:
+        if row["executor"] == executor and row["broker"] == broker and row["nodes"] == nodes:
+            return row
+    raise KeyError((executor, broker, nodes))
+
+
+def test_fig14_executor_and_broker_impact(benchmark):
+    """Reproduce the Fig. 14 bars and check the reported trends."""
+    rows = benchmark.pedantic(run_fig14, rounds=1, iterations=1)
+    print()
+    print(format_fig14(rows))
+
+    # Mesos deployment time decreases with the node count.
+    mesos = [_row(rows, "mesos", "activemq", nodes)["deployment_time"] for nodes in (5, 10, 15)]
+    assert mesos[0] > mesos[1] > mesos[2]
+
+    # SSH deployment time slightly increases with the node count.
+    ssh = [_row(rows, "ssh", "activemq", nodes)["deployment_time"] for nodes in (5, 10, 15)]
+    assert ssh[2] >= ssh[0]
+    assert ssh[2] - ssh[0] < 10.0  # "slightly"
+
+    # The deployment time depends on the executor, not on the broker.
+    for nodes in (5, 10, 15):
+        amq = _row(rows, "mesos", "activemq", nodes)["deployment_time"]
+        kafka = _row(rows, "mesos", "kafka", nodes)["deployment_time"]
+        assert abs(amq - kafka) < 1.0
+
+    # ActiveMQ outperforms Kafka on execution time by a large factor (paper: ~4x).
+    for executor in ("ssh", "mesos"):
+        for nodes in (5, 10, 15):
+            amq = _row(rows, executor, "activemq", nodes)["execution_time"]
+            kafka = _row(rows, executor, "kafka", nodes)["execution_time"]
+            assert kafka > 2.0 * amq, (executor, nodes, amq, kafka)

@@ -1,0 +1,52 @@
+"""Benchmark reproducing Fig. 16 — resilience under injected agent failures.
+
+Runs the Montage workflow on Mesos + Kafka with the paper's failure model
+(probability ``p`` after delay ``T``) and compares against the no-failure
+baseline.  Checks the reported trends: overhead grows with ``p``; ``T = 0``
+failures are cheap; ``T = 100`` failures (long projections) dominate at high
+``p``; the expected failure count follows ``p/(1-p) × N_T``.
+"""
+
+from __future__ import annotations
+
+from repro.bench import run_fig16, run_fig16_baseline, format_fig16
+
+
+def _cell(rows, delay, probability):
+    for row in rows:
+        if row["T"] == delay and row["p"] == probability:
+            return row
+    raise KeyError((delay, probability))
+
+
+def test_fig16_resilience(benchmark):
+    """Reproduce the Fig. 16 bars and check the paper's trends."""
+    baseline = run_fig16_baseline(repetitions=1)
+
+    rows = benchmark.pedantic(run_fig16, rounds=1, iterations=1)
+    print()
+    print(format_fig16(rows, baseline))
+
+    # every configuration still completes the workflow (robustness claim)
+    assert all(row["recoveries"] >= row["failures"] * 0.99 for row in rows)
+
+    # overhead grows with p for every T
+    for delay in (0.0, 15.0, 100.0):
+        times = [_cell(rows, delay, p)["execution_time"] for p in (0.2, 0.5, 0.8)]
+        assert times[0] <= times[1] <= times[2] * 1.05, (delay, times)
+
+    # T=0: failures are numerous but cheap — bounded overhead vs baseline
+    cheap = _cell(rows, 0.0, 0.2)["execution_time"]
+    assert cheap < baseline["mean"] * 1.3
+
+    # T=100 at p=0.8 is the worst case (long work lost per failure)
+    worst = _cell(rows, 100.0, 0.8)["execution_time"]
+    assert worst > _cell(rows, 0.0, 0.8)["execution_time"]
+    assert worst > baseline["mean"]
+
+    # failure counts follow the p/(1-p) * N_T expectation, loosely:
+    # with T=0 every service is exposed (118), with T=100 only the long ones.
+    t0_p08 = _cell(rows, 0.0, 0.8)["failures"]
+    t100_p08 = _cell(rows, 100.0, 0.8)["failures"]
+    assert t0_p08 > t100_p08
+    assert t0_p08 > 100  # paper observed 487 failures on average at p=0.8, T=0

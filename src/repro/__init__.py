@@ -1,0 +1,75 @@
+"""repro — a Python reproduction of GinFlow (IPDPS 2016).
+
+GinFlow is a decentralised adaptive workflow execution manager built on
+shared-space (chemical) coordination.  This package re-implements the whole
+stack described in the paper:
+
+* :mod:`repro.hocl` — the HOCL multiset-rewriting language and interpreter,
+* :mod:`repro.hoclflow` — the workflow-specific extensions (generic
+  enactment rules, adaptation rules, DAG → HOCL translation),
+* :mod:`repro.workflow` — the user-facing workflow model (tasks, DAGs, JSON
+  format, adaptation specifications, workload generators),
+* :mod:`repro.services` — service abstraction and failure injection,
+* :mod:`repro.simkernel` — a deterministic discrete-event simulation kernel,
+* :mod:`repro.cluster` — the simulated infrastructure (nodes, network,
+  Grid'5000-like presets, a Mesos-like resource-offer master),
+* :mod:`repro.messaging` — ActiveMQ-like and Kafka-like message brokers,
+* :mod:`repro.agents` — service agents, the shared-space coordinator and the
+  fault-recovery mechanism,
+* :mod:`repro.executors` — centralised, SSH-like and Mesos-like executors,
+* :mod:`repro.runtime` — the GinFlow facade tying everything together,
+* :mod:`repro.bench` — drivers reproducing every figure of the evaluation.
+
+Quickstart
+----------
+>>> from repro import GinFlow, diamond_workflow
+>>> ginflow = GinFlow()
+>>> report = ginflow.run(diamond_workflow(width=3, depth=2))
+>>> report.succeeded
+True
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+# The names below form the stable public facade.  Heavy subpackages are
+# imported lazily on first attribute access so `import repro` stays cheap.
+_FACADE = {
+    "GinFlow": ("repro.runtime.ginflow", "GinFlow"),
+    "GinFlowConfig": ("repro.runtime.config", "GinFlowConfig"),
+    "CostModel": ("repro.runtime.costs", "CostModel"),
+    "RunReport": ("repro.runtime.results", "RunReport"),
+    "FailureModel": ("repro.services.faults", "FailureModel"),
+    "ServiceRegistry": ("repro.services.service", "ServiceRegistry"),
+    "Workflow": ("repro.workflow.dag", "Workflow"),
+    "Task": ("repro.workflow.dag", "Task"),
+    "AdaptationSpec": ("repro.workflow.adaptive", "AdaptationSpec"),
+    "diamond_workflow": ("repro.workflow.patterns", "diamond_workflow"),
+    "adaptive_diamond_workflow": ("repro.workflow.patterns", "adaptive_diamond_workflow"),
+    "sequence_workflow": ("repro.workflow.patterns", "sequence_workflow"),
+    "parallel_workflow": ("repro.workflow.patterns", "parallel_workflow"),
+    "montage_workflow": ("repro.workflow.montage", "montage_workflow"),
+    "workflow_from_json": ("repro.workflow.json_format", "workflow_from_json"),
+    "workflow_to_json": ("repro.workflow.json_format", "workflow_to_json"),
+}
+
+__all__ = ["__version__", *sorted(_FACADE)]
+
+
+def __getattr__(name: str):
+    """Lazily resolve the public facade names listed in ``_FACADE``."""
+    try:
+        module_name, attribute = _FACADE[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attribute)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_FACADE))

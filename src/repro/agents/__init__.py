@@ -1,0 +1,23 @@
+"""Service agents: the decentralised engine of GinFlow."""
+
+from .actions import Action, SendAdapt, SendResult, StartInvocation, StatusUpdate
+from .coordinator import Coordinator, TaskStatus, TimelineEvent
+from .core import AgentCore, AgentState
+from .local_rules import build_local_rules
+from .recovery import rebuild_agent, replay_messages
+
+__all__ = [
+    "Action",
+    "SendResult",
+    "SendAdapt",
+    "StartInvocation",
+    "StatusUpdate",
+    "AgentCore",
+    "AgentState",
+    "build_local_rules",
+    "Coordinator",
+    "TaskStatus",
+    "TimelineEvent",
+    "rebuild_agent",
+    "replay_messages",
+]

@@ -1,0 +1,56 @@
+"""Actions emitted by a service agent's local reduction.
+
+The decentralised rules (:mod:`repro.agents.local_rules`) do not perform I/O
+themselves: when they fire, they record an :class:`Action` describing what
+the hosting runtime must do — send a result to another agent, broadcast the
+``ADAPT`` marker, start a service invocation, or push a status update to the
+shared space.  Keeping the rules pure lets the simulated and the threaded
+runtimes share exactly the same agent logic while differing only in how they
+execute the actions (virtual-time scheduling vs. real threads and queues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Action", "SendResult", "SendAdapt", "StartInvocation", "StatusUpdate"]
+
+
+@dataclass(frozen=True)
+class Action:
+    """Base class of every agent action."""
+
+
+@dataclass(frozen=True)
+class SendResult(Action):
+    """Send this task's result to ``destination`` (decentralised ``gw_pass``)."""
+
+    destination: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class SendAdapt(Action):
+    """Send ``count`` ``ADAPT`` markers to ``destination`` (decentralised
+    ``trigger_adapt``)."""
+
+    destination: str
+    count: int = 1
+    adaptation: str = ""
+
+
+@dataclass(frozen=True)
+class StartInvocation(Action):
+    """Invoke the task's service with the prepared parameter list."""
+
+    service: str
+    parameters: tuple[Any, ...] = field(default_factory=tuple)
+
+
+@dataclass(frozen=True)
+class StatusUpdate(Action):
+    """Push the agent's new state to the shared multiset."""
+
+    state: str
+    detail: str = ""

@@ -1,0 +1,110 @@
+"""The shared-space coordinator.
+
+In GinFlow the multiset also acts as the observable status of the workflow:
+"It also sends a message to the multiset so as to update the status of the
+workflow" (Section IV-A).  The :class:`Coordinator` plays that role in both
+runtimes: it consumes ``STATUS`` messages, maintains the last known state of
+every task, detects workflow completion (every exit task holds a result) and
+records a timeline of events for the run report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["TaskStatus", "TimelineEvent", "Coordinator"]
+
+
+@dataclass
+class TaskStatus:
+    """Last known status of one task, as seen by the shared space."""
+
+    task: str
+    state: str = "unknown"
+    has_result: bool = False
+    has_error: bool = False
+    pending_sources: list[str] = field(default_factory=list)
+    pending_destinations: list[str] = field(default_factory=list)
+    updates: int = 0
+    last_update_time: float = 0.0
+
+
+@dataclass
+class TimelineEvent:
+    """One entry of the run timeline."""
+
+    time: float
+    task: str
+    event: str
+    detail: str = ""
+
+
+class Coordinator:
+    """Tracks workflow status from agents' updates and detects completion."""
+
+    def __init__(self, exit_tasks: list[str], on_complete: Callable[[float], None] | None = None):
+        if not exit_tasks:
+            raise ValueError("the coordinator needs at least one exit task")
+        self.exit_tasks = list(exit_tasks)
+        self.on_complete = on_complete
+        self.statuses: dict[str, TaskStatus] = {}
+        self.timeline: list[TimelineEvent] = []
+        self.completed = False
+        self.completion_time: float | None = None
+        self.status_updates = 0
+
+    # -------------------------------------------------------------- updates
+    def record_status(self, task: str, status: dict[str, Any], time: float = 0.0) -> None:
+        """Apply one ``STATUS`` payload coming from an agent."""
+        self.status_updates += 1
+        entry = self.statuses.setdefault(task, TaskStatus(task=task))
+        previous_state = entry.state
+        entry.state = str(status.get("state", entry.state))
+        entry.has_result = bool(status.get("has_result", entry.has_result))
+        entry.has_error = bool(status.get("has_error", entry.has_error))
+        entry.pending_sources = list(status.get("pending_sources", entry.pending_sources))
+        entry.pending_destinations = list(status.get("pending_destinations", entry.pending_destinations))
+        entry.updates += 1
+        entry.last_update_time = time
+        if entry.state != previous_state:
+            self.record_event(time, task, entry.state)
+        self._check_completion(time)
+
+    def record_event(self, time: float, task: str, event: str, detail: str = "") -> None:
+        """Append an arbitrary event to the timeline (failures, recoveries...)."""
+        self.timeline.append(TimelineEvent(time=time, task=task, event=event, detail=detail))
+
+    # ----------------------------------------------------------- completion
+    def _check_completion(self, time: float) -> None:
+        if self.completed:
+            return
+        for task in self.exit_tasks:
+            status = self.statuses.get(task)
+            if status is None or not status.has_result:
+                return
+        self.completed = True
+        self.completion_time = time
+        if self.on_complete is not None:
+            self.on_complete(time)
+
+    # -------------------------------------------------------------- queries
+    def task_state(self, task: str) -> str:
+        """Last known state of ``task`` (``"unknown"`` before any update)."""
+        status = self.statuses.get(task)
+        return status.state if status else "unknown"
+
+    def tasks_in_state(self, state: str) -> list[str]:
+        """Every task whose last known state is ``state``."""
+        return [name for name, status in self.statuses.items() if status.state == state]
+
+    def error_tasks(self) -> list[str]:
+        """Tasks whose last update reported an ``ERROR`` result."""
+        return [name for name, status in self.statuses.items() if status.has_error]
+
+    def progress(self) -> float:
+        """Fraction of known tasks holding a result (coarse progress metric)."""
+        if not self.statuses:
+            return 0.0
+        done = sum(1 for status in self.statuses.values() if status.has_result)
+        return done / len(self.statuses)

@@ -1,0 +1,209 @@
+"""The runtime-agnostic service-agent state machine.
+
+A service agent (SA) is "composed of three elements": the service to invoke,
+a local copy of its sub-solution, and an HOCL interpreter reading and
+updating that copy (Section IV-A).  :class:`AgentCore` is exactly that —
+minus any notion of time or transport.  Every external stimulus (boot, a
+received message, the completion of an invocation) is a method call that
+
+1. updates the local solution,
+2. runs the local HOCL reduction to inertness,
+3. returns the list of :class:`~repro.agents.actions.Action` the rules
+   requested (messages to send, invocation to start, status updates).
+
+The simulated runtime and the threaded runtime both drive AgentCore; they
+only differ in how they deliver stimuli and execute actions.  Keeping the
+chemistry identical in both paths is what makes the simulation a faithful
+stand-in for the real decentralised execution.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.hocl import Multiset, ReductionEngine, Symbol, default_registry, to_atom
+from repro.hoclflow import keywords as kw
+from repro.hoclflow.fields import (
+    build_parameters,
+    get_dst,
+    get_in_atoms,
+    get_res_atoms,
+    get_src,
+    has_error,
+    has_result,
+    tagged_input,
+)
+from repro.hoclflow.generic_rules import register_workflow_externals
+from repro.hoclflow.translator import TaskEncoding
+
+from .actions import Action, StatusUpdate
+from .local_rules import build_local_rules
+
+__all__ = ["AgentState", "AgentCore"]
+
+
+class AgentState:
+    """Lifecycle states of a service agent (used in status updates)."""
+
+    IDLE = "idle"
+    READY = "ready"
+    INVOKING = "invoking"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+class AgentCore:
+    """Local solution + interpreter + bookkeeping of one service agent."""
+
+    def __init__(self, encoding: TaskEncoding, max_reduction_steps: int = 10_000):
+        self.encoding = encoding
+        self.name = encoding.name
+        self._pending: list[Action] = []
+        self.solution: Multiset = encoding.initial_solution(include_rules=False)
+        self.solution.add_all(build_local_rules(encoding, self._pending.append))
+        externals = default_registry()
+        # Only the pure externals are needed locally: the decentralised
+        # gw_call never calls `invoke` (the runtime owns the invocation).
+        register_workflow_externals(externals, lambda *_args: None)
+        self.engine = ReductionEngine(externals=externals, max_steps=max_reduction_steps)
+        self.state = AgentState.IDLE
+        self.invocation_requested = False
+        self.results_sent = 0
+        self.duplicates_ignored = 0
+        self.adaptations_applied = 0
+        #: cost-accounting counters consumed by the simulation's cost model
+        self.match_attempts = 0
+        self.reactions = 0
+        self.reduction_units = 0.0
+
+    # ----------------------------------------------------------------- state
+    def pending_sources(self) -> list[str]:
+        """Tasks this agent is still waiting for."""
+        return get_src(self.solution)
+
+    def pending_destinations(self) -> list[str]:
+        """Tasks this agent still has to send its result to."""
+        return get_dst(self.solution)
+
+    def has_result(self) -> bool:
+        """Whether a (non-error) result is stored in ``RES``."""
+        return has_result(self.solution)
+
+    def has_error(self) -> bool:
+        """Whether ``RES`` contains the ``ERROR`` marker."""
+        return has_error(self.solution)
+
+    def result_value(self) -> Any:
+        """The stored result value (unwrapped), or ``None``."""
+        from repro.hocl import from_atom
+
+        for atom in get_res_atoms(self.solution):
+            if not (isinstance(atom, Symbol) and atom.name == kw.ERROR):
+                return from_atom(atom)
+        return None
+
+    def current_parameters(self) -> list[Any]:
+        """The parameter list the service would be invoked with right now."""
+        return build_parameters(get_in_atoms(self.solution))
+
+    def status(self) -> dict[str, Any]:
+        """A status snapshot, the payload of ``STATUS`` messages."""
+        return {
+            "task": self.name,
+            "state": self.state,
+            "pending_sources": self.pending_sources(),
+            "pending_destinations": self.pending_destinations(),
+            "has_result": self.has_result(),
+            "has_error": self.has_error(),
+        }
+
+    # -------------------------------------------------------------- stimuli
+    def boot(self) -> list[Action]:
+        """First reduction after deployment (entry tasks start invoking here)."""
+        self.state = AgentState.READY
+        return self._reduce_and_collect()
+
+    def receive_result(self, source: str, value: Any) -> list[Action]:
+        """Handle a ``RESULT`` message from ``source``.
+
+        Duplicated or stale results (the source is no longer listed in
+        ``SRC`` — either because the first copy was already consumed or
+        because an adaptation moved the source) are ignored; the one-shot
+        nature of ``gw_setup``/``gw_call`` makes this safe (Section IV-B).
+        """
+        sources = self.pending_sources()
+        if source not in sources:
+            self.duplicates_ignored += 1
+            return []
+        remaining = [name for name in sources if name != source]
+        from repro.hoclflow.fields import set_task_names
+
+        set_task_names(self.solution, kw.SRC, remaining)
+        in_field = self.solution.find_tuple(kw.IN)
+        if in_field is not None:
+            from repro.hocl import Subsolution, TupleAtom
+
+            body = in_field.elements[1]
+            if isinstance(body, Subsolution):
+                body.solution.add(tagged_input(source, value))
+        return self._reduce_and_collect()
+
+    def receive_adapt(self, count: int = 1) -> list[Action]:
+        """Handle an ``ADAPT`` message: inject the marker(s) and re-reduce."""
+        for _ in range(max(1, count)):
+            self.solution.add(kw.ADAPT_SYM)
+        self.adaptations_applied += 1
+        return self._reduce_and_collect()
+
+    def invocation_started(self) -> list[Action]:
+        """Record that the runtime actually started the service invocation."""
+        self.state = AgentState.INVOKING
+        return [StatusUpdate(state=self.state)]
+
+    def invocation_succeeded(self, value: Any) -> list[Action]:
+        """Handle the service result: store it and let ``gw_pass`` send it."""
+        self._store_result(to_atom(value))
+        self.state = AgentState.COMPLETED
+        return self._reduce_and_collect()
+
+    def invocation_failed(self, error: str | None = None) -> list[Action]:
+        """Handle a failed invocation: store ``ERROR`` (triggers adaptation)."""
+        self._store_result(kw.ERROR_SYM)
+        self.state = AgentState.FAILED
+        return self._reduce_and_collect()
+
+    # ------------------------------------------------------------- internals
+    def _store_result(self, atom: Any) -> None:
+        from repro.hocl import Subsolution
+
+        res_field = self.solution.find_tuple(kw.RES)
+        if res_field is None:
+            from repro.hoclflow.fields import res_field as make_res
+
+            self.solution.add(make_res([atom]))
+            return
+        body = res_field.elements[1]
+        if isinstance(body, Subsolution):
+            body.solution.add(atom)
+
+    def _reduce_and_collect(self) -> list[Action]:
+        report = self.engine.reduce(self.solution)
+        self.match_attempts += report.match_attempts
+        self.reactions += report.reactions
+        self.reduction_units += report.match_attempts * max(1, len(self.solution))
+        # NOTE: the rules' effect hooks hold a reference to self._pending, so
+        # the list must be drained in place (never rebound).
+        actions = list(self._pending)
+        self._pending.clear()
+        deduplicated: list[Action] = []
+        for action in actions:
+            if isinstance(action, type(None)):
+                continue
+            deduplicated.append(action)
+            if action.__class__.__name__ == "StartInvocation":
+                self.invocation_requested = True
+        deduplicated.append(StatusUpdate(state=self.state))
+        for action in deduplicated:
+            if action.__class__.__name__ == "SendResult":
+                self.results_sent += 1
+        return deduplicated

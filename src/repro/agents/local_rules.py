@@ -1,0 +1,150 @@
+"""Decentralised variants of the enactment rules.
+
+Section IV-A: "the rules presented in Section III-B do not enable a
+decentralised execution by themselves.  In particular, the ``gw_pass`` rule
+is supposed to act from outside subsolutions...  In the GinFlow environment,
+this was modified to act from within a subsolution: once the result of the
+invocation of the service it manages is collected, a SA triggers a local
+version of the ``gw_pass`` rule which calls a function that sends a message
+directly to the destination SA."
+
+The local rule set of one agent is therefore:
+
+* ``gw_setup`` — unchanged (purely local);
+* ``gw_call`` — instead of synchronously calling ``invoke``, it marks the
+  sub-solution ``INVOKING`` and emits a :class:`~repro.agents.actions.StartInvocation`
+  action (the invocation takes time and is driven by the runtime);
+* ``gw_pass`` (local) — for each destination still listed in ``DST``, emit a
+  :class:`~repro.agents.actions.SendResult` action and drop the destination;
+* ``trigger_adapt`` (local) — when ``RES`` contains ``ERROR`` and this task
+  triggers an adaptation plan, emit :class:`~repro.agents.actions.SendAdapt`
+  actions towards every affected task;
+* the adaptation rules proper (``add_dst`` / ``mv_src`` / ``activate``) are
+  *already* local — the same rule objects produced by
+  :mod:`repro.hoclflow.adaptation` are reused verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.hocl import (
+    BindingView,
+    Omega,
+    Rule,
+    SolutionPattern,
+    SolutionTemplate,
+    Splice,
+    Symbol,
+    SymbolPattern,
+    TuplePattern,
+    TupleTemplate,
+    Ref,
+    Var,
+    from_atom,
+)
+from repro.hoclflow import keywords as kw
+from repro.hoclflow.adaptation import AdaptationPlan
+from repro.hoclflow.generic_rules import make_gw_setup
+from repro.hoclflow.translator import TaskEncoding
+
+from .actions import Action, SendAdapt, SendResult, StartInvocation
+
+__all__ = ["build_local_rules"]
+
+#: Callback through which the rules hand their actions back to the agent core.
+ActionSink = Callable[[Action], None]
+
+
+def _make_local_gw_call(emit: ActionSink) -> Rule:
+    """Local ``gw_call``: request the invocation instead of performing it."""
+
+    def effect(bindings: BindingView) -> None:
+        service = str(bindings.value("s"))
+        parameters = bindings.value("par")
+        if not isinstance(parameters, list):
+            parameters = [parameters]
+        emit(StartInvocation(service=service, parameters=tuple(parameters)))
+
+    return Rule(
+        name="gw_call",
+        patterns=[
+            TuplePattern(SymbolPattern(kw.SRC), SolutionPattern()),
+            TuplePattern(SymbolPattern(kw.SRV), Var("s")),
+            TuplePattern(SymbolPattern(kw.PAR), Var("par")),
+        ],
+        products=[
+            TupleTemplate(kw.SRC_SYM, SolutionTemplate()),
+            TupleTemplate(kw.SRV_SYM, Ref("s")),
+            kw.INVOKING_SYM,
+        ],
+        one_shot=True,
+        effect=effect,
+    )
+
+
+def _make_local_gw_pass(emit: ActionSink) -> Rule:
+    """Local ``gw_pass``: send the result to one pending destination."""
+
+    def condition(bindings: BindingView) -> bool:
+        result = bindings.atom("res")
+        return not (isinstance(result, Symbol) and result.name == kw.ERROR)
+
+    def effect(bindings: BindingView) -> None:
+        destination = bindings.value("tj")
+        emit(SendResult(destination=str(destination), value=bindings.value("res")))
+
+    return Rule(
+        name="gw_pass",
+        patterns=[
+            TuplePattern(SymbolPattern(kw.RES), SolutionPattern(Var("res"), rest=Omega("wres"))),
+            TuplePattern(SymbolPattern(kw.DST), SolutionPattern(Var("tj", kind="symbol"), rest=Omega("wdst"))),
+        ],
+        products=[
+            TupleTemplate(kw.RES_SYM, SolutionTemplate(Ref("res"), Splice("wres"))),
+            TupleTemplate(kw.DST_SYM, SolutionTemplate(Splice("wdst"))),
+        ],
+        condition=condition,
+        one_shot=False,
+        effect=effect,
+    )
+
+
+def _make_local_trigger(plan: AdaptationPlan, emit: ActionSink) -> Rule:
+    """Local ``trigger_adapt``: broadcast ``ADAPT`` when this task fails."""
+
+    marker_counts = plan.adapt_marker_counts()
+
+    def effect(_bindings: BindingView) -> None:
+        for task_name, count in marker_counts.items():
+            emit(SendAdapt(destination=task_name, count=count, adaptation=plan.spec.name))
+
+    return Rule(
+        name=f"trigger_adapt:{plan.spec.name}",
+        patterns=[
+            TuplePattern(SymbolPattern(kw.RES), SolutionPattern(SymbolPattern(kw.ERROR), rest=Omega("wres"))),
+        ],
+        products=[],  # keep_matched=True puts the matched RES tuple back untouched
+        one_shot=True,
+        keep_matched=True,
+        effect=effect,
+        priority=10,
+    )
+
+
+def build_local_rules(encoding: TaskEncoding, emit: ActionSink) -> list[Rule]:
+    """The complete local rule set of the agent managing ``encoding``.
+
+    ``emit`` is called by the rules' effects with the actions they request;
+    the agent core collects them and the runtime executes them.
+    """
+    rules: list[Rule] = [make_gw_setup(), _make_local_gw_call(emit), _make_local_gw_pass(emit)]
+    for plan in encoding.trigger_plans:
+        rules.append(_make_local_trigger(plan, emit))
+    for rule in encoding.local_rules:
+        # reuse the adaptation rules; skip the centralised gw_setup/gw_call,
+        # which the local variants above replace.
+        if rule.name in ("gw_setup", "gw_call"):
+            continue
+        rules.append(rule)
+    return rules

@@ -1,0 +1,30 @@
+"""Experiment harnesses reproducing every figure of the paper's evaluation."""
+
+from .ablation import format_ablation, run_matching_cost_ablation, run_status_update_ablation
+from .common import experiment_scale, format_table, mean, std
+from .fig12 import format_fig12, run_fig12
+from .fig13 import format_fig13, run_fig13
+from .fig14 import format_fig14, run_fig14
+from .fig15 import format_fig15, run_fig15
+from .fig16 import format_fig16, run_fig16, run_fig16_baseline
+
+__all__ = [
+    "experiment_scale",
+    "format_table",
+    "mean",
+    "std",
+    "run_fig12",
+    "format_fig12",
+    "run_fig13",
+    "format_fig13",
+    "run_fig14",
+    "format_fig14",
+    "run_fig15",
+    "format_fig15",
+    "run_fig16",
+    "run_fig16_baseline",
+    "format_fig16",
+    "run_matching_cost_ablation",
+    "run_status_update_ablation",
+    "format_ablation",
+]

@@ -1,0 +1,93 @@
+"""Ablation experiments (not figures of the paper, but design-choice checks).
+
+Two ablations back up discussion points of the paper:
+
+* **HOCL matching cost vs. solution size** (Section V-A: "the complexity of
+  the pattern matching process depends on the size of the solution") — reduce
+  multisets of increasing size with the getMax rule and measure reactions and
+  match attempts per atom.
+* **Status-update traffic** (Section IV-A: every agent pushes its status to
+  the shared multiset) — run the same diamond with and without status
+  updates to isolate their share of the coordination time.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from repro.hocl import Multiset, Ref, Rule, Var, reduce_solution
+from repro.runtime import CostModel, GinFlowConfig, run_simulation
+from repro.workflow import diamond_workflow
+
+from .common import format_table
+
+__all__ = ["run_matching_cost_ablation", "run_status_update_ablation", "format_ablation"]
+
+
+def run_matching_cost_ablation(sizes: tuple[int, ...] = (10, 50, 100, 200)) -> list[dict[str, Any]]:
+    """Measure HOCL reduction cost as the multiset grows (getMax workload)."""
+    rows: list[dict[str, Any]] = []
+    for size in sizes:
+        max_rule = Rule(
+            "max",
+            [Var("x", kind="int"), Var("y", kind="int")],
+            [Ref("x")],
+            condition=lambda b: b.value("x") >= b.value("y"),
+        )
+        solution = Multiset(list(range(size)) + [max_rule])
+        started = time.perf_counter()
+        report = reduce_solution(solution)
+        elapsed = time.perf_counter() - started
+        rows.append(
+            {
+                "solution_size": size,
+                "reactions": report.reactions,
+                "match_attempts": report.match_attempts,
+                "wall_time_s": elapsed,
+                "final_size": len(solution),
+            }
+        )
+    return rows
+
+
+def run_status_update_ablation(size: int = 8, nodes: int = 15) -> list[dict[str, Any]]:
+    """Compare coordination time with and without shared-space status updates."""
+    workflow = diamond_workflow(size, size, connectivity="simple", duration=0.1)
+    rows: list[dict[str, Any]] = []
+    for enabled in (True, False):
+        config = GinFlowConfig(
+            nodes=nodes,
+            executor="ssh",
+            broker="activemq",
+            costs=CostModel(status_update_enabled=enabled),
+            collect_timeline=False,
+        )
+        report = run_simulation(workflow, config)
+        rows.append(
+            {
+                "status_updates": enabled,
+                "execution_time": report.execution_time,
+                "messages": report.messages_published,
+                "succeeded": report.succeeded,
+            }
+        )
+    return rows
+
+
+def format_ablation(matching_rows: list[dict[str, Any]], status_rows: list[dict[str, Any]]) -> str:
+    """Text rendering of both ablations."""
+    return "\n\n".join(
+        [
+            format_table(
+                matching_rows,
+                columns=["solution_size", "reactions", "match_attempts", "wall_time_s"],
+                title="Ablation A — HOCL pattern-matching cost vs. solution size",
+            ),
+            format_table(
+                status_rows,
+                columns=["status_updates", "execution_time", "messages"],
+                title="Ablation B — shared-space status-update traffic",
+            ),
+        ]
+    )

@@ -1,0 +1,73 @@
+"""Fig. 12 — Coordination timespan of diamond-shaped workflows.
+
+The paper sweeps the diamond size (``h`` services in parallel × ``v``
+services in sequence, Fig. 11) for the simple-connected and fully-connected
+flavours and reports the total coordination time (the tasks themselves only
+simulate a very short constant execution time).  Expected shape:
+
+* time grows with both ``h`` and ``v``; the vertical dimension has the
+  steeper slope (every extra row adds a full coordination round-trip);
+* the fully-connected flavour is markedly more expensive (≈ 3× at 31×31,
+  54 s vs 178 s in the paper) because every row exchanges ``h²`` messages.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import GinFlowConfig, run_simulation
+from repro.workflow import diamond_workflow
+
+from .common import experiment_scale, format_table
+
+__all__ = ["SMALL_SIZES", "PAPER_SIZES", "run_fig12", "format_fig12"]
+
+#: Reduced grid used by default (keeps the bench suite fast).
+SMALL_SIZES = (1, 6, 11, 16)
+
+#: The paper's grid (Fig. 12 plots 1..31 on both axes).
+PAPER_SIZES = (1, 6, 11, 16, 21, 26, 31)
+
+#: Very low constant task execution time, as in the paper.
+TASK_DURATION = 0.1
+
+
+def run_fig12(
+    scale: str | None = None,
+    connectivities: tuple[str, ...] = ("simple", "full"),
+    nodes: int = 25,
+    broker: str = "activemq",
+    seed: int = 1,
+) -> list[dict[str, Any]]:
+    """Run the Fig. 12 sweep; returns one row per (connectivity, h, v) point."""
+    sizes = PAPER_SIZES if experiment_scale(scale) == "paper" else SMALL_SIZES
+    rows: list[dict[str, Any]] = []
+    config = GinFlowConfig(nodes=nodes, executor="ssh", broker=broker, seed=seed, collect_timeline=False)
+    for connectivity in connectivities:
+        for horizontal in sizes:
+            for vertical in sizes:
+                workflow = diamond_workflow(
+                    horizontal, vertical, connectivity=connectivity, duration=TASK_DURATION
+                )
+                report = run_simulation(workflow, config)
+                rows.append(
+                    {
+                        "connectivity": connectivity,
+                        "horizontal": horizontal,
+                        "vertical": vertical,
+                        "services": len(workflow),
+                        "coordination_time": report.execution_time,
+                        "messages": report.messages_published,
+                        "succeeded": report.succeeded,
+                    }
+                )
+    return rows
+
+
+def format_fig12(rows: list[dict[str, Any]]) -> str:
+    """Text rendering of the Fig. 12 surfaces."""
+    return format_table(
+        rows,
+        columns=["connectivity", "horizontal", "vertical", "services", "coordination_time", "messages"],
+        title="Fig. 12 — coordination timespan of diamond-shaped workflows (seconds)",
+    )

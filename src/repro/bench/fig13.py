@@ -1,0 +1,85 @@
+"""Fig. 13 — Adaptiveness overhead (with/without-adaptation ratio).
+
+The paper executes square diamond workflows (``h = v``), raises an exception
+on the *last* service of the mesh, and replaces the whole diamond body
+on-the-fly; the reported metric is the ratio between the adaptive execution
+time and a regular (no failure, no adaptation) execution of the same
+workflow.  Three scenarios are studied:
+
+* *simple to simple* — replace a simple-connected body by another one;
+* *simple to full* — replace a simple-connected body by a fully-connected one;
+* *full to simple* — replace a fully-connected body by a simple-connected one.
+
+Expected shape: the ratio stays below ≈ 2 for simple→simple (adapting is
+cheaper than re-running the workflow from scratch), between ≈ 2 and 3 for
+simple→full, and constant-or-decreasing for full→simple.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import GinFlowConfig, run_simulation
+from repro.workflow import adaptive_diamond_workflow, diamond_workflow
+
+from .common import experiment_scale, format_table
+
+__all__ = ["SCENARIOS", "SMALL_CONFIGURATIONS", "PAPER_CONFIGURATIONS", "run_fig13", "format_fig13"]
+
+#: The three replacement scenarios of the paper.
+SCENARIOS = (
+    ("simple-to-simple", "simple", "simple"),
+    ("simple-to-full", "simple", "full"),
+    ("full-to-simple", "full", "simple"),
+)
+
+#: Reduced set of square configurations.
+SMALL_CONFIGURATIONS = (1, 6, 11)
+
+#: The paper's configurations (Fig. 13 x-axis).
+PAPER_CONFIGURATIONS = (1, 6, 11, 16, 21)
+
+TASK_DURATION = 0.1
+
+
+def run_fig13(
+    scale: str | None = None,
+    nodes: int = 25,
+    broker: str = "activemq",
+    seed: int = 1,
+) -> list[dict[str, Any]]:
+    """Run the Fig. 13 sweep; one row per (scenario, configuration)."""
+    configurations = PAPER_CONFIGURATIONS if experiment_scale(scale) == "paper" else SMALL_CONFIGURATIONS
+    config = GinFlowConfig(nodes=nodes, executor="ssh", broker=broker, seed=seed, collect_timeline=False)
+    rows: list[dict[str, Any]] = []
+    for scenario, body, replacement in SCENARIOS:
+        for size in configurations:
+            baseline_workflow = diamond_workflow(size, size, connectivity=body, duration=TASK_DURATION)
+            baseline = run_simulation(baseline_workflow, config)
+            adaptive_workflow = adaptive_diamond_workflow(
+                size, size, body_connectivity=body, replacement_connectivity=replacement, duration=TASK_DURATION
+            )
+            adaptive = run_simulation(adaptive_workflow, config)
+            ratio = adaptive.execution_time / baseline.execution_time if baseline.execution_time else float("nan")
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "configuration": f"{size}x{size}",
+                    "size": size,
+                    "baseline_time": baseline.execution_time,
+                    "adaptive_time": adaptive.execution_time,
+                    "ratio": ratio,
+                    "adaptations_triggered": adaptive.adaptations_triggered,
+                    "succeeded": adaptive.succeeded and baseline.succeeded,
+                }
+            )
+    return rows
+
+
+def format_fig13(rows: list[dict[str, Any]]) -> str:
+    """Text rendering of the Fig. 13 ratios."""
+    return format_table(
+        rows,
+        columns=["scenario", "configuration", "baseline_time", "adaptive_time", "ratio"],
+        title="Fig. 13 — with-adaptiveness over without-adaptiveness execution-time ratio",
+    )

@@ -1,0 +1,87 @@
+"""Fig. 14 — Executor and messaging-middleware impact.
+
+A 10×10 simple-connected diamond is executed with every combination of
+executor (SSH, Mesos) and messaging middleware (ActiveMQ, Kafka) on 5, 10 and
+15 nodes; the reported time is split into deployment time and execution time
+(averaged over several runs in the paper).  Expected shape:
+
+* SSH deployment time increases slightly with the node count (more SSH
+  channels to manage), while Mesos deployment time decreases roughly linearly
+  (each resource offer contains more machines, so more agents start per
+  offer round);
+* execution time barely depends on the executor but strongly on the broker:
+  Kafka runs ≈ 4× slower than ActiveMQ.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime import GinFlowConfig, run_simulation
+from repro.workflow import diamond_workflow
+
+from .common import experiment_scale, format_table, mean
+
+__all__ = ["NODE_COUNTS", "COMBINATIONS", "run_fig14", "format_fig14"]
+
+#: Node counts of the Fig. 14 x-axis.
+NODE_COUNTS = (5, 10, 15)
+
+#: Executor / broker combinations of the paper.
+COMBINATIONS = (
+    ("ssh", "activemq"),
+    ("ssh", "kafka"),
+    ("mesos", "activemq"),
+    ("mesos", "kafka"),
+)
+
+DIAMOND_SIZE = 10
+TASK_DURATION = 0.1
+
+
+def run_fig14(
+    scale: str | None = None,
+    repetitions: int | None = None,
+    seed: int = 1,
+) -> list[dict[str, Any]]:
+    """Run the Fig. 14 grid; one row per (executor, broker, node count)."""
+    if repetitions is None:
+        repetitions = 10 if experiment_scale(scale) == "paper" else 2
+    workflow = diamond_workflow(DIAMOND_SIZE, DIAMOND_SIZE, connectivity="simple", duration=TASK_DURATION)
+    rows: list[dict[str, Any]] = []
+    for executor, broker in COMBINATIONS:
+        for nodes in NODE_COUNTS:
+            deployments: list[float] = []
+            executions: list[float] = []
+            for repetition in range(repetitions):
+                config = GinFlowConfig(
+                    nodes=nodes,
+                    executor=executor,
+                    broker=broker,
+                    seed=seed + repetition,
+                    collect_timeline=False,
+                )
+                report = run_simulation(workflow, config)
+                deployments.append(report.deployment_time)
+                executions.append(report.execution_time)
+            rows.append(
+                {
+                    "executor": executor,
+                    "broker": broker,
+                    "nodes": nodes,
+                    "deployment_time": mean(deployments),
+                    "execution_time": mean(executions),
+                    "total_time": mean(deployments) + mean(executions),
+                    "repetitions": repetitions,
+                }
+            )
+    return rows
+
+
+def format_fig14(rows: list[dict[str, Any]]) -> str:
+    """Text rendering of the Fig. 14 bars."""
+    return format_table(
+        rows,
+        columns=["executor", "broker", "nodes", "deployment_time", "execution_time", "total_time"],
+        title="Fig. 14 — 10x10 diamond: executor / messaging middleware impact (seconds)",
+    )

@@ -1,0 +1,111 @@
+"""Command line interface (the paper's Section IV-D client interface).
+
+Usage::
+
+    ginflow run workflow.json --mode simulated --executor mesos --broker kafka --nodes 10
+    ginflow validate workflow.json
+    ginflow show-hocl workflow.json
+
+or, without installing the console script::
+
+    python -m repro.cli run workflow.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.hoclflow import encode_workflow
+from repro.runtime import GinFlow, GinFlowConfig
+from repro.services import FailureModel
+from repro.workflow import workflow_from_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser of the ``ginflow`` command."""
+    parser = argparse.ArgumentParser(
+        prog="ginflow",
+        description="GinFlow: decentralised adaptive workflow execution manager (reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="execute a JSON workflow")
+    run_parser.add_argument("workflow", help="path to the JSON workflow definition")
+    run_parser.add_argument("--mode", default="simulated", choices=("simulated", "threaded", "centralized"))
+    run_parser.add_argument("--executor", default="ssh", choices=("ssh", "mesos"))
+    run_parser.add_argument("--broker", default="activemq", choices=("activemq", "kafka"))
+    run_parser.add_argument("--nodes", type=int, default=25, help="number of cluster nodes (simulated mode)")
+    run_parser.add_argument("--seed", type=int, default=1, help="root random seed")
+    run_parser.add_argument("--failure-probability", type=float, default=0.0, help="failure injection probability p")
+    run_parser.add_argument("--failure-delay", type=float, default=0.0, help="failure injection delay T (seconds)")
+    run_parser.add_argument("--json", action="store_true", help="print the report summary as JSON")
+
+    validate_parser = subparsers.add_parser("validate", help="validate a JSON workflow definition")
+    validate_parser.add_argument("workflow", help="path to the JSON workflow definition")
+
+    hocl_parser = subparsers.add_parser("show-hocl", help="print the HOCL encoding of a workflow")
+    hocl_parser.add_argument("workflow", help="path to the JSON workflow definition")
+
+    return parser
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    workflow = workflow_from_json(args.workflow)
+    failures = FailureModel(probability=args.failure_probability, delay=args.failure_delay)
+    config = GinFlowConfig(
+        mode=args.mode,
+        executor=args.executor,
+        broker=args.broker,
+        nodes=args.nodes,
+        seed=args.seed,
+        failures=failures,
+    )
+    report = GinFlow(config).run(workflow)
+    if args.json:
+        print(json.dumps(report.summary(), indent=2))
+    else:
+        print(report.format_summary())
+    return 0 if report.succeeded else 1
+
+
+def _command_validate(args: argparse.Namespace) -> int:
+    workflow = workflow_from_json(args.workflow)
+    workflow.validate()
+    print(
+        f"workflow {workflow.name!r}: {len(workflow)} tasks, "
+        f"{len(workflow.dependencies())} dependencies, {len(workflow.adaptations)} adaptation(s) — OK"
+    )
+    return 0
+
+
+def _command_show_hocl(args: argparse.Namespace) -> int:
+    workflow = workflow_from_json(args.workflow)
+    encoding = encode_workflow(workflow)
+    print(str(encoding.to_multiset()))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of the ``ginflow`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "run":
+            return _command_run(args)
+        if args.command == "validate":
+            return _command_validate(args)
+        if args.command == "show-hocl":
+            return _command_show_hocl(args)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

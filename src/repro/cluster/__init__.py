@@ -1,0 +1,23 @@
+"""Simulated infrastructure: nodes, clusters, network and the Mesos master."""
+
+from .grid5000 import (
+    GRID5000_NODES,
+    GRID5000_TOTAL_CORES,
+    grid5000_cluster,
+    grid5000_network,
+)
+from .mesos_master import MesosMaster, ResourceOffer
+from .network import NetworkModel
+from .node import Cluster, Node
+
+__all__ = [
+    "Node",
+    "Cluster",
+    "NetworkModel",
+    "MesosMaster",
+    "ResourceOffer",
+    "grid5000_cluster",
+    "grid5000_network",
+    "GRID5000_NODES",
+    "GRID5000_TOTAL_CORES",
+]

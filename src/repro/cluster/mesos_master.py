@@ -1,0 +1,67 @@
+"""A Mesos-like resource-offer master.
+
+The paper's Mesos executor "starts one SA per machine for each offer received
+from the Mesos scheduler", so the relevant behaviour is the *offer cycle*:
+periodically, the master offers the currently available machines to the
+framework, which accepts slots on them.  More nodes per offer means more
+agents started per cycle, which is what produces the linearly decreasing
+deployment time of Fig. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .node import Cluster, Node
+
+__all__ = ["ResourceOffer", "MesosMaster"]
+
+
+@dataclass
+class ResourceOffer:
+    """One resource offer: a set of machines with at least one free agent slot."""
+
+    round_index: int
+    nodes: list[Node]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class MesosMaster:
+    """Generates resource offers over a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The managed cluster.
+    offer_interval:
+        Virtual seconds between two offer rounds.
+    registration_delay:
+        Framework registration time before the first offer.
+    """
+
+    def __init__(self, cluster: Cluster, offer_interval: float = 2.0, registration_delay: float = 1.0):
+        if offer_interval <= 0:
+            raise ValueError("offer_interval must be > 0")
+        self.cluster = cluster
+        self.offer_interval = offer_interval
+        self.registration_delay = registration_delay
+        self._round = 0
+
+    def next_offer_time(self) -> float:
+        """Virtual time (relative to deployment start) of the next offer round."""
+        return self.registration_delay + self._round * self.offer_interval
+
+    def make_offer(self) -> ResourceOffer:
+        """Produce the next offer: every node that still has a free slot."""
+        offer = ResourceOffer(
+            round_index=self._round,
+            nodes=[node for node in self.cluster.nodes if node.free_slots > 0],
+        )
+        self._round += 1
+        return offer
+
+    def reset(self) -> None:
+        """Restart the offer cycle."""
+        self._round = 0

@@ -1,0 +1,15 @@
+"""Executors: centralised, SSH-based and Mesos-based provisioning."""
+
+from .base import DeploymentPlan, DistributedExecutor
+from .centralized import CentralizedExecutor, CentralizedOutcome
+from .mesos import MesosExecutor
+from .ssh import SSHExecutor
+
+__all__ = [
+    "DeploymentPlan",
+    "DistributedExecutor",
+    "SSHExecutor",
+    "MesosExecutor",
+    "CentralizedExecutor",
+    "CentralizedOutcome",
+]

@@ -1,0 +1,120 @@
+"""The centralised executor.
+
+"The centralised executor will use a single HOCL interpreter to execute the
+workflow." (Section IV-C)  The whole concrete workflow (Fig. 8) is folded
+into one multiset and reduced by one engine; service invocations happen
+synchronously from inside the ``gw_call`` rule through the ``invoke``
+external function.
+
+The paper does not evaluate this mode (its experiments are all distributed),
+but it is the reference implementation of the chemistry: the distributed
+engine must produce the same final results, which the integration tests check.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hocl import (
+    Multiset,
+    ReductionEngine,
+    ReductionReport,
+    Subsolution,
+    Symbol,
+    TupleAtom,
+    default_registry,
+    from_atom,
+)
+from repro.hoclflow import encode_workflow
+from repro.hoclflow import keywords as kw
+from repro.hoclflow.fields import get_res_atoms, has_error
+from repro.hoclflow.generic_rules import register_workflow_externals
+from repro.hoclflow.translator import WorkflowEncoding
+from repro.services import InvocationContext, ServiceRegistry
+from repro.workflow.dag import Workflow
+
+__all__ = ["CentralizedOutcome", "CentralizedExecutor"]
+
+
+@dataclass
+class CentralizedOutcome:
+    """Result of a centralised execution."""
+
+    solution: Multiset
+    report: ReductionReport
+    results: dict[str, Any] = field(default_factory=dict)
+    errors: dict[str, str] = field(default_factory=dict)
+    invocations: int = 0
+
+    def result_of(self, task_name: str) -> Any:
+        """Result value of ``task_name`` (``None`` if it produced none)."""
+        return self.results.get(task_name)
+
+
+class CentralizedExecutor:
+    """Single-interpreter execution of an encoded workflow."""
+
+    name = "centralized"
+
+    def __init__(self, registry: ServiceRegistry | None = None, max_steps: int = 1_000_000):
+        self.registry = registry or ServiceRegistry()
+        self.max_steps = max_steps
+
+    def execute(self, workflow: Workflow) -> CentralizedOutcome:
+        """Encode and run ``workflow`` to inertness; collect per-task results."""
+        encoding = encode_workflow(workflow)
+        return self.execute_encoding(encoding)
+
+    def execute_encoding(self, encoding: WorkflowEncoding) -> CentralizedOutcome:
+        """Run an already encoded workflow."""
+        solution = encoding.to_multiset()
+        invocation_counter = {"count": 0}
+        attempts: dict[str, int] = {}
+
+        def invoke(task_name: str, service_name: str, parameters: list[Any]) -> Any:
+            invocation_counter["count"] += 1
+            attempts[task_name] = attempts.get(task_name, 0) + 1
+            task_encoding = encoding.tasks[task_name]
+            service = self.registry.resolve(service_name)
+            context = InvocationContext(
+                task_name=task_name,
+                duration=task_encoding.duration,
+                metadata=task_encoding.metadata,
+                attempt=attempts[task_name],
+            )
+            outcome = service.invoke(list(parameters), context)
+            if outcome.failed:
+                raise RuntimeError(outcome.error or "service invocation failed")
+            return outcome.value
+
+        externals = default_registry()
+        register_workflow_externals(externals, invoke)
+        engine = ReductionEngine(externals=externals, max_steps=self.max_steps)
+        report = engine.reduce(solution)
+
+        results: dict[str, Any] = {}
+        errors: dict[str, str] = {}
+        for atom in solution.atoms():
+            if not (
+                isinstance(atom, TupleAtom)
+                and len(atom.elements) == 2
+                and isinstance(atom.elements[0], Symbol)
+                and isinstance(atom.elements[1], Subsolution)
+            ):
+                continue
+            task_name = atom.elements[0].name
+            task_solution = atom.elements[1].solution
+            if has_error(task_solution):
+                errors[task_name] = "ERROR"
+            for res_atom in get_res_atoms(task_solution):
+                if not (isinstance(res_atom, Symbol) and res_atom.name == kw.ERROR):
+                    results[task_name] = from_atom(res_atom)
+                    break
+        return CentralizedOutcome(
+            solution=solution,
+            report=report,
+            results=results,
+            errors=errors,
+            invocations=invocation_counter["count"],
+        )

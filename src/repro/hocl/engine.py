@@ -1,0 +1,241 @@
+"""The HOCL reduction engine.
+
+Reduction repeatedly applies applicable rules to a solution until no rule can
+fire anywhere — the solution is then *inert*.  Two points of the HOCL
+execution model matter for GinFlow and are implemented here:
+
+* **Nested solutions reduce first.**  A rule of an outer solution may only
+  consume a sub-solution once that sub-solution is inert.  The engine
+  enforces this by reducing depth-first: at every step, all nested solutions
+  (including those stored inside tuples, which is how task sub-solutions are
+  encoded) are brought to inertness before any outer rule is tried.
+* **One-shot rules.**  A ``replace-one`` rule is removed from its solution
+  when it fires.
+
+The engine is deliberately deterministic for a fixed rule set and solution:
+rules are tried in priority order (then insertion order) and the first match
+found is applied.  HOCL semantics allow any order; determinism makes tests
+and the simulation reproducible without changing the set of reachable inert
+states for the confluent programs used by GinFlow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .atoms import Atom, Subsolution, TupleAtom
+from .errors import ReductionError
+from .externals import ExternalRegistry, default_registry
+from .matching import Match
+from .multiset import Multiset
+from .rules import Rule
+
+__all__ = ["ReductionReport", "ReactionRecord", "ReductionEngine", "reduce_solution", "is_inert"]
+
+
+@dataclass
+class ReactionRecord:
+    """One rule firing, as recorded in a :class:`ReductionReport`."""
+
+    rule: str
+    depth: int
+    consumed: int
+    produced: int
+
+
+@dataclass
+class ReductionReport:
+    """Statistics gathered while reducing a solution.
+
+    Attributes
+    ----------
+    reactions:
+        Number of rule firings.
+    match_attempts:
+        Number of (rule, solution) match searches performed; the simulation
+        cost model charges virtual time proportional to this and to the
+        solution size.
+    inert:
+        ``True`` when reduction reached a state where no rule can fire;
+        ``False`` only when the step limit was hit.
+    history:
+        Per-reaction records (rule name, nesting depth, atoms consumed and
+        produced), useful for debugging and for the execution traces.
+    """
+
+    reactions: int = 0
+    match_attempts: int = 0
+    inert: bool = True
+    history: list[ReactionRecord] = field(default_factory=list)
+
+    def merge(self, other: "ReductionReport") -> None:
+        """Accumulate ``other`` into this report."""
+        self.reactions += other.reactions
+        self.match_attempts += other.match_attempts
+        self.inert = self.inert and other.inert
+        self.history.extend(other.history)
+
+
+#: Optional observer invoked after every reaction with
+#: ``(rule, match, depth)``; the GinFlow agents use it for tracing.
+ReactionObserver = Callable[[Rule, Match, int], None]
+
+
+class ReductionEngine:
+    """Reduce HOCL solutions to inertness.
+
+    Parameters
+    ----------
+    externals:
+        External function registry used to expand ``Call`` templates; a
+        default registry (with ``list`` et al.) is created when omitted.
+    max_steps:
+        Safety bound on the number of reactions in one :meth:`reduce` call.
+        Workflow programs always terminate, but user-supplied rules might
+        not; exceeding the bound marks the report as non-inert instead of
+        looping forever.
+    observer:
+        Optional callback invoked after each reaction.
+    """
+
+    def __init__(
+        self,
+        externals: ExternalRegistry | None = None,
+        max_steps: int = 100_000,
+        observer: ReactionObserver | None = None,
+    ):
+        self.externals = externals if externals is not None else default_registry()
+        self.max_steps = int(max_steps)
+        self.observer = observer
+
+    # ----------------------------------------------------------------- public
+    def reduce(self, solution: Multiset) -> ReductionReport:
+        """Rewrite ``solution`` in place until it is inert (or the step limit hits)."""
+        report = ReductionReport()
+        self._reduce_level(solution, depth=0, report=report)
+        return report
+
+    def step(self, solution: Multiset) -> bool:
+        """Apply at most one reaction (anywhere in the solution tree).
+
+        Returns ``True`` if a reaction was applied.  Useful for debugging and
+        for tests that need to observe intermediate states.
+        """
+        report = ReductionReport()
+        return self._try_one_reaction(solution, depth=0, report=report)
+
+    def is_inert(self, solution: Multiset) -> bool:
+        """Whether no rule can fire anywhere in ``solution`` (non-mutating)."""
+        report = ReductionReport()
+        return not self._has_applicable_rule(solution, report)
+
+    # --------------------------------------------------------------- internal
+    def _nested_solutions(self, solution: Multiset) -> list[Multiset]:
+        """Sub-solutions at this level, including those wrapped in tuples."""
+        nested: list[Multiset] = []
+        for atom in solution.atoms():
+            if isinstance(atom, Subsolution):
+                nested.append(atom.solution)
+            elif isinstance(atom, TupleAtom):
+                for element in atom.elements:
+                    if isinstance(element, Subsolution):
+                        nested.append(element.solution)
+        return nested
+
+    def _reduce_level(self, solution: Multiset, depth: int, report: ReductionReport) -> None:
+        while True:
+            if report.reactions >= self.max_steps:
+                report.inert = False
+                return
+            # 1. bring every nested solution to inertness first
+            for nested in self._nested_solutions(solution):
+                self._reduce_level(nested, depth + 1, report)
+                if report.reactions >= self.max_steps:
+                    report.inert = False
+                    return
+            # 2. then try one reaction at this level
+            if not self._apply_first_applicable(solution, depth, report):
+                return
+            # a reaction at this level may have created new nested solutions
+            # or re-enabled nested rules: loop.
+
+    def _try_one_reaction(self, solution: Multiset, depth: int, report: ReductionReport) -> bool:
+        for nested in self._nested_solutions(solution):
+            if self._try_one_reaction(nested, depth + 1, report):
+                return True
+        return self._apply_first_applicable(solution, depth, report)
+
+    def _ordered_rules(self, solution: Multiset) -> list[Rule]:
+        rules = [atom for atom in solution.atoms() if isinstance(atom, Rule)]
+        # stable sort: priority descending, insertion order preserved among equals
+        return sorted(rules, key=lambda rule: -rule.priority)
+
+    def _apply_first_applicable(
+        self, solution: Multiset, depth: int, report: ReductionReport
+    ) -> bool:
+        for rule in self._ordered_rules(solution):
+            report.match_attempts += 1
+            match = self._find_match_excluding_self(rule, solution)
+            if match is None:
+                continue
+            self._apply(rule, match, solution, depth, report)
+            return True
+        return False
+
+    def _has_applicable_rule(self, solution: Multiset, report: ReductionReport) -> bool:
+        for nested in self._nested_solutions(solution):
+            if self._has_applicable_rule(nested, report):
+                return True
+        for rule in self._ordered_rules(solution):
+            report.match_attempts += 1
+            if self._find_match_excluding_self(rule, solution) is not None:
+                return True
+        return False
+
+    @staticmethod
+    def _find_match_excluding_self(rule: Rule, solution: Multiset) -> Match | None:
+        """First match of ``rule`` whose consumed atoms do not include the rule itself."""
+        for match in rule.find_all_matches(solution):
+            if not any(consumed is rule for consumed in match.consumed):
+                return match
+        return None
+
+    def _apply(
+        self, rule: Rule, match: Match, solution: Multiset, depth: int, report: ReductionReport
+    ) -> None:
+        try:
+            products = rule.produce(match, self.externals)
+        except Exception as exc:  # noqa: BLE001 - context added
+            raise ReductionError(f"rule {rule.name!r} failed to produce its products: {exc}") from exc
+        for consumed in match.consumed:
+            solution.remove_identical(consumed)
+        if rule.one_shot:
+            # the rule removes itself once fired (replace-one semantics)
+            try:
+                solution.remove_identical(rule)
+            except KeyError:
+                solution.discard(rule)
+        for atom in products:
+            solution.add(atom)
+        report.reactions += 1
+        report.history.append(
+            ReactionRecord(rule=rule.name, depth=depth, consumed=len(match.consumed), produced=len(products))
+        )
+        rule.fire_effect(match)
+        if self.observer is not None:
+            self.observer(rule, match, depth)
+
+
+def reduce_solution(
+    solution: Multiset,
+    externals: ExternalRegistry | None = None,
+    max_steps: int = 100_000,
+) -> ReductionReport:
+    """Convenience wrapper: reduce ``solution`` with a fresh engine."""
+    return ReductionEngine(externals=externals, max_steps=max_steps).reduce(solution)
+
+
+def is_inert(solution: Multiset, externals: ExternalRegistry | None = None) -> bool:
+    """Convenience wrapper: whether ``solution`` is inert."""
+    return ReductionEngine(externals=externals).is_inert(solution)

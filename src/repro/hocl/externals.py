@@ -1,0 +1,128 @@
+"""Registry of external functions callable from rule products.
+
+HOCL rules may call host-language functions — the paper's interpreter calls
+Java methods; ours calls Python callables.  The two functions the generic
+workflow rules rely on are registered by default:
+
+``list``
+    Builds an HOCLflow list from its arguments (used by ``gw_setup`` to turn
+    the collected inputs into the parameter list ``PAR``).
+``invoke``
+    Invokes a service.  The default implementation looks the service up in a
+    :class:`~repro.services.registry.ServiceRegistry` attached to the
+    registry; the GinFlow agents override it with their own invoker so that
+    failures, retries and timing are accounted for.
+
+Additional helpers (``concat``, ``first``, ``flatten``) are provided because
+user workflows frequently need them when post-processing results.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from .atoms import Atom, ListAtom, from_atom, to_atom
+from .errors import ExternalFunctionError
+from .patterns import Bindings
+
+__all__ = ["ExternalRegistry", "default_registry"]
+
+#: Signature of an external function: it receives the already-expanded atom
+#: arguments and the full binding environment, and returns a value coerced
+#: back to atoms by the calling template.
+ExternalFunction = Callable[[list[Atom], Bindings], Any]
+
+
+class ExternalRegistry:
+    """A named collection of host functions available to rule products."""
+
+    def __init__(self) -> None:
+        self._functions: dict[str, ExternalFunction] = {}
+        self._register_builtins()
+
+    # ------------------------------------------------------------- built-ins
+    def _register_builtins(self) -> None:
+        self.register("list", lambda args, _b: ListAtom(args))
+        self.register("concat", self._concat)
+        self.register("first", self._first)
+        self.register("flatten", self._flatten)
+
+    @staticmethod
+    def _concat(args: list[Atom], _bindings: Bindings) -> Atom:
+        parts: list[Any] = []
+        for arg in args:
+            value = from_atom(arg)
+            if isinstance(value, list):
+                parts.extend(value)
+            else:
+                parts.append(value)
+        return ListAtom(parts)
+
+    @staticmethod
+    def _first(args: list[Atom], _bindings: Bindings) -> Atom:
+        if not args:
+            raise ExternalFunctionError("first() requires at least one argument")
+        head = args[0]
+        if isinstance(head, ListAtom):
+            if len(head) == 0:
+                raise ExternalFunctionError("first() of an empty list")
+            return head[0]
+        return head
+
+    @staticmethod
+    def _flatten(args: list[Atom], _bindings: Bindings) -> Atom:
+        flat: list[Any] = []
+
+        def walk(value: Any) -> None:
+            if isinstance(value, list):
+                for item in value:
+                    walk(item)
+            else:
+                flat.append(value)
+
+        for arg in args:
+            walk(from_atom(arg))
+        return ListAtom(flat)
+
+    # --------------------------------------------------------------- public
+    def register(self, name: str, function: ExternalFunction) -> None:
+        """Register (or replace) the external function ``name``."""
+        if not callable(function):
+            raise ExternalFunctionError(f"external {name!r} is not callable")
+        self._functions[name] = function
+
+    def unregister(self, name: str) -> None:
+        """Remove ``name`` from the registry (no error if absent)."""
+        self._functions.pop(name, None)
+
+    def knows(self, name: str) -> bool:
+        """Whether ``name`` is registered."""
+        return name in self._functions
+
+    def names(self) -> list[str]:
+        """Sorted list of registered function names."""
+        return sorted(self._functions)
+
+    def invoke(self, name: str, args: list[Atom], bindings: Bindings) -> Any:
+        """Invoke ``name`` on ``args``; wraps any error in ExternalFunctionError."""
+        try:
+            function = self._functions[name]
+        except KeyError:
+            raise ExternalFunctionError(f"unknown external function {name!r}") from None
+        try:
+            return function(args, bindings)
+        except ExternalFunctionError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - surfaced with context
+            raise ExternalFunctionError(f"external function {name!r} failed: {exc}") from exc
+
+    def copy(self) -> "ExternalRegistry":
+        """A shallow copy (shared function objects, independent table)."""
+        clone = ExternalRegistry()
+        clone._functions = dict(self._functions)
+        return clone
+
+
+def default_registry() -> ExternalRegistry:
+    """A fresh registry with only the built-in helpers registered."""
+    return ExternalRegistry()

@@ -1,0 +1,101 @@
+"""Multiset-level pattern matching.
+
+A rule's left-hand side is a sequence of patterns that must match *distinct*
+atoms of the solution simultaneously, under a single consistent binding
+environment, and subject to the rule's reaction condition.  This module
+implements that search.
+
+The matcher is a straightforward backtracking search.  Solutions handled by
+the distributed GinFlow engine are small (a handful of atoms per service
+agent), so clarity wins over cleverness here; the centralised engine indexes
+candidate atoms per pattern to keep large solutions tractable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Sequence
+
+from .atoms import Atom
+from .multiset import Multiset
+from .patterns import Bindings, Pattern
+
+__all__ = ["Match", "find_matches", "find_first_match", "count_matches"]
+
+
+@dataclass
+class Match:
+    """The result of matching a rule's left-hand side against a solution.
+
+    Attributes
+    ----------
+    bindings:
+        Variable environment produced by the match.
+    consumed:
+        The exact atom objects (by identity) matched by the left-hand side;
+        the engine removes these when the rule fires.
+    """
+
+    bindings: Bindings
+    consumed: list[Atom] = field(default_factory=list)
+
+
+def find_matches(
+    patterns: Sequence[Pattern],
+    solution: Multiset,
+    condition: Callable[[Bindings], bool] | None = None,
+    initial_bindings: Bindings | None = None,
+) -> Iterator[Match]:
+    """Yield every match of ``patterns`` against distinct atoms of ``solution``.
+
+    Parameters
+    ----------
+    patterns:
+        The rule's left-hand-side patterns, each of which must match a
+        different atom.
+    solution:
+        The multiset to search.
+    condition:
+        Optional reaction condition evaluated on the bindings; matches for
+        which it returns ``False`` are discarded.
+    initial_bindings:
+        Optional starting environment (used by the engine to pre-bind
+        context variables such as the owning task name).
+    """
+    atoms = solution.atoms()
+    base: Bindings = dict(initial_bindings) if initial_bindings else {}
+
+    def recurse(index: int, used: list[int], env: Bindings) -> Iterator[Match]:
+        if index == len(patterns):
+            if condition is None or condition(env):
+                yield Match(bindings=env, consumed=[atoms[position] for position in used])
+            return
+        pattern = patterns[index]
+        for position, candidate in enumerate(atoms):
+            if position in used:
+                continue
+            for extended in pattern.match(candidate, env):
+                yield from recurse(index + 1, used + [position], extended)
+
+    yield from recurse(0, [], base)
+
+
+def find_first_match(
+    patterns: Sequence[Pattern],
+    solution: Multiset,
+    condition: Callable[[Bindings], bool] | None = None,
+    initial_bindings: Bindings | None = None,
+) -> Match | None:
+    """Return the first match of ``patterns`` against ``solution`` or ``None``."""
+    for match in find_matches(patterns, solution, condition, initial_bindings):
+        return match
+    return None
+
+
+def count_matches(
+    patterns: Sequence[Pattern],
+    solution: Multiset,
+    condition: Callable[[Bindings], bool] | None = None,
+) -> int:
+    """Count the matches of ``patterns`` against ``solution`` (diagnostics)."""
+    return sum(1 for _ in find_matches(patterns, solution, condition))

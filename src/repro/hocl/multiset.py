@@ -1,0 +1,227 @@
+"""The multiset (chemical solution) container.
+
+A :class:`Multiset` is an unordered bag of :class:`~repro.hocl.atoms.Atom`
+instances that may contain duplicates.  It is the single data structure the
+HOCL reduction engine rewrites: rules consume atoms from it and inject new
+atoms into it.
+
+The implementation keeps an insertion-ordered list internally (which makes
+reduction deterministic for a given engine policy and greatly simplifies
+testing) but none of the public semantics depend on that order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from .atoms import Atom, Subsolution, Symbol, TupleAtom, to_atom
+
+__all__ = ["Multiset"]
+
+
+class Multiset:
+    """An unordered bag of atoms with duplicates, the HOCL *solution*.
+
+    Parameters
+    ----------
+    contents:
+        Optional iterable of atoms or plain Python values (coerced with
+        :func:`~repro.hocl.atoms.to_atom`).
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self, contents: Iterable[Any] = ()):  # noqa: B008
+        self._items: list[Atom] = [to_atom(value) for value in contents]
+
+    # ------------------------------------------------------------------ core
+    def add(self, value: Any) -> Atom:
+        """Add a single atom (coercing plain values) and return it."""
+        atom = to_atom(value)
+        self._items.append(atom)
+        return atom
+
+    def add_all(self, values: Iterable[Any]) -> list[Atom]:
+        """Add every value from ``values``; returns the added atoms."""
+        return [self.add(v) for v in values]
+
+    def remove(self, atom: Any) -> None:
+        """Remove one occurrence of ``atom`` (structural equality).
+
+        Raises
+        ------
+        KeyError
+            If no equal atom is present.
+        """
+        target = to_atom(atom)
+        for index, item in enumerate(self._items):
+            if item == target:
+                del self._items[index]
+                return
+        raise KeyError(f"atom not in multiset: {target!r}")
+
+    def discard(self, atom: Any) -> bool:
+        """Remove one occurrence of ``atom`` if present; return whether it was."""
+        try:
+            self.remove(atom)
+            return True
+        except KeyError:
+            return False
+
+    def remove_identical(self, atom: Atom) -> None:
+        """Remove the exact object ``atom`` (identity, not equality).
+
+        The matcher records the identity of the atoms it consumed so the
+        engine can delete precisely those occurrences even when duplicates
+        exist.
+        """
+        for index, item in enumerate(self._items):
+            if item is atom:
+                del self._items[index]
+                return
+        raise KeyError(f"atom object not in multiset: {atom!r}")
+
+    def clear(self) -> None:
+        """Remove every atom."""
+        self._items.clear()
+
+    # --------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(list(self._items))
+
+    def __contains__(self, value: Any) -> bool:
+        target = to_atom(value)
+        return any(item == target for item in self._items)
+
+    def count(self, value: Any) -> int:
+        """Number of occurrences equal to ``value``."""
+        target = to_atom(value)
+        return sum(1 for item in self._items if item == target)
+
+    def atoms(self) -> list[Atom]:
+        """A snapshot list of the current atoms (safe to iterate while mutating)."""
+        return list(self._items)
+
+    def find(self, predicate: Callable[[Atom], bool]) -> Atom | None:
+        """Return the first atom satisfying ``predicate``, or ``None``."""
+        for item in self._items:
+            if predicate(item):
+                return item
+        return None
+
+    def find_all(self, predicate: Callable[[Atom], bool]) -> list[Atom]:
+        """Return every atom satisfying ``predicate``."""
+        return [item for item in self._items if predicate(item)]
+
+    # ------------------------------------------------ HOCLflow-style helpers
+    def find_tuple(self, head: str) -> TupleAtom | None:
+        """Return the first tuple atom whose head symbol is ``head``.
+
+        This is the idiomatic way to address the ``SRC``/``DST``/``SRV``/
+        ``IN``/``PAR``/``RES`` fields of a task sub-solution.
+        """
+        for item in self._items:
+            if isinstance(item, TupleAtom) and item.head_symbol() == head:
+                return item
+        return None
+
+    def find_tuples(self, head: str) -> list[TupleAtom]:
+        """Return every tuple atom whose head symbol is ``head``."""
+        return [
+            item
+            for item in self._items
+            if isinstance(item, TupleAtom) and item.head_symbol() == head
+        ]
+
+    def replace_tuple(self, head: str, new_tuple: TupleAtom) -> None:
+        """Replace the (single) tuple with head ``head`` by ``new_tuple``.
+
+        Adds ``new_tuple`` if no such tuple exists.
+        """
+        existing = self.find_tuple(head)
+        if existing is not None:
+            self.remove_identical(existing)
+        self.add(new_tuple)
+
+    def has_symbol(self, name: str) -> bool:
+        """Whether a bare :class:`~repro.hocl.atoms.Symbol` ``name`` is present."""
+        return any(isinstance(item, Symbol) and item.name == name for item in self._items)
+
+    def remove_symbol(self, name: str) -> bool:
+        """Remove one occurrence of symbol ``name`` if present."""
+        return self.discard(Symbol(name))
+
+    def subsolutions(self) -> list[Subsolution]:
+        """Every top-level sub-solution atom."""
+        return [item for item in self._items if isinstance(item, Subsolution)]
+
+    def rules(self) -> list[Atom]:
+        """Every top-level rule atom (higher-order content of the solution)."""
+        from .rules import Rule  # local import to avoid a cycle
+
+        return [item for item in self._items if isinstance(item, Rule)]
+
+    def non_rule_atoms(self) -> list[Atom]:
+        """Every top-level atom that is not a rule (the 'data' of the solution)."""
+        from .rules import Rule
+
+        return [item for item in self._items if not isinstance(item, Rule)]
+
+    # ------------------------------------------------------------- structure
+    def copy(self) -> "Multiset":
+        """Deep copy of the multiset (sub-solutions are copied recursively)."""
+        clone = Multiset()
+        clone._items = [item.copy() for item in self._items]
+        return clone
+
+    def union(self, other: "Multiset") -> "Multiset":
+        """A new multiset with the contents of both operands."""
+        result = self.copy()
+        for item in other:
+            result.add(item.copy())
+        return result
+
+    def size_recursive(self) -> int:
+        """Total number of atoms including the contents of nested solutions.
+
+        The paper notes that the cost of the pattern-matching process grows
+        with the size of the solution; the simulation cost model uses this
+        measure.
+        """
+        total = 0
+        for item in self._items:
+            total += 1
+            if isinstance(item, Subsolution):
+                total += item.solution.size_recursive()
+            elif isinstance(item, TupleAtom):
+                total += sum(
+                    element.solution.size_recursive()
+                    for element in item.elements
+                    if isinstance(element, Subsolution)
+                )
+        return total
+
+    # -------------------------------------------------------------- equality
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        if len(self._items) != len(other._items):
+            return False
+        remaining = list(other._items)
+        for item in self._items:
+            for index, candidate in enumerate(remaining):
+                if candidate == item:
+                    del remaining[index]
+                    break
+            else:
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Multiset({self._items!r})"
+
+    def __str__(self) -> str:
+        return "<" + ", ".join(str(item) for item in self._items) + ">"

@@ -1,0 +1,355 @@
+"""Pattern language used on the left-hand side of HOCL rules.
+
+A rule such as (Fig. 4 of the paper)::
+
+    gw_setup = replace-one SRC : <>, IN : <w>
+               by SRC : <>, PAR : list(w)
+
+is built from *patterns* (its left-hand side) and *templates* (its right-hand
+side, see :mod:`repro.hocl.templates`).  Patterns match single atoms and
+produce *bindings* — a mapping from variable names to atoms (or, for omega
+variables, to lists of atoms).
+
+Pattern classes
+---------------
+``Var(name, kind=None)``
+    Matches any single atom, optionally constrained to an atom ``kind``
+    (``"int"``, ``"string"``, ``"solution"``, ...), and binds it.
+``Omega(name)``
+    The ω of the paper: captures *all remaining* atoms of the enclosing
+    solution or tuple pattern.  Only valid as the ``rest`` of a
+    :class:`SolutionPattern` / trailing element of a :class:`TuplePattern`.
+``Literal(value)``
+    Matches an atom structurally equal to ``value``.
+``SymbolPattern(name)``
+    Shorthand for ``Literal(Symbol(name))``.
+``TuplePattern(*elements)``
+    Matches a :class:`~repro.hocl.atoms.TupleAtom` element-wise.
+``SolutionPattern(*elements, rest=None)``
+    Matches a :class:`~repro.hocl.atoms.Subsolution` whose contents contain
+    one distinct atom per element pattern; ``rest`` (an :class:`Omega`)
+    captures whatever is left (possibly nothing).
+``RulePattern(name=None)``
+    Matches a rule atom (higher order), optionally by name — this is what
+    lets the ``clean`` rule of the getMax example remove ``max``.
+
+Bindings are plain dictionaries mapping variable names to
+:class:`~repro.hocl.atoms.Atom` (or ``list[Atom]`` for omegas).  A variable
+appearing several times must bind structurally equal atoms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator
+
+from .atoms import Atom, ListAtom, Subsolution, Symbol, TupleAtom, to_atom
+from .errors import PatternError
+
+__all__ = [
+    "Bindings",
+    "Pattern",
+    "Var",
+    "Omega",
+    "Literal",
+    "SymbolPattern",
+    "TuplePattern",
+    "SolutionPattern",
+    "RulePattern",
+    "as_pattern",
+]
+
+#: A variable environment produced by matching: variable name -> atom, or
+#: variable name -> list of atoms for omega (rest) variables.
+Bindings = dict[str, Any]
+
+
+def _bind(bindings: Bindings, name: str, value: Any) -> Bindings | None:
+    """Extend ``bindings`` with ``name=value`` if consistent, else ``None``."""
+    if name in bindings:
+        existing = bindings[name]
+        if isinstance(existing, list) or isinstance(value, list):
+            if not isinstance(existing, list) or not isinstance(value, list):
+                return None
+            if len(existing) != len(value) or any(a != b for a, b in zip(existing, value)):
+                return None
+        elif existing != value:
+            return None
+        return bindings
+    extended = dict(bindings)
+    extended[name] = value
+    return extended
+
+
+class Pattern:
+    """Abstract base class of all patterns."""
+
+    __slots__ = ()
+
+    def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
+        """Yield every extension of ``bindings`` under which ``atom`` matches."""
+        raise NotImplementedError
+
+    def variables(self) -> set[str]:
+        """Names of all variables (including omegas) referenced by the pattern."""
+        return set()
+
+
+class Var(Pattern):
+    """Match any single atom and bind it to ``name``.
+
+    Parameters
+    ----------
+    name:
+        Variable name to bind.
+    kind:
+        Optional atom-kind constraint, compared against ``Atom.kind``
+        (``"int"``, ``"float"``, ``"string"``, ``"symbol"``, ``"tuple"``,
+        ``"list"``, ``"solution"``, ``"rule"``).  ``"number"`` accepts both
+        ints and floats.
+    """
+
+    __slots__ = ("name", "kind")
+
+    def __init__(self, name: str, kind: str | None = None):
+        if not name:
+            raise PatternError("Var requires a non-empty name")
+        self.name = name
+        self.kind = kind
+
+    def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
+        if self.kind is not None:
+            if self.kind == "number":
+                if atom.kind not in ("int", "float"):
+                    return
+            elif atom.kind != self.kind:
+                return
+        extended = _bind(bindings, self.name, atom)
+        if extended is not None:
+            yield extended
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Var({self.name!r}{', ' + repr(self.kind) if self.kind else ''})"
+
+
+class Omega(Pattern):
+    """The ω rest-capture variable.
+
+    An omega does not match a single atom; it is consumed structurally by the
+    enclosing :class:`SolutionPattern` or :class:`TuplePattern`, which binds
+    it to the list of atoms not matched by the other element patterns.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str = "omega"):
+        if not name:
+            raise PatternError("Omega requires a non-empty name")
+        self.name = name
+
+    def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:  # pragma: no cover
+        raise PatternError(
+            "Omega patterns capture the remainder of a solution; they cannot "
+            "match a single atom directly"
+        )
+
+    def variables(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Omega({self.name!r})"
+
+
+class Literal(Pattern):
+    """Match an atom structurally equal to a fixed value."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, value: Any):
+        self.atom = to_atom(value)
+
+    def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
+        if atom == self.atom:
+            yield bindings
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Literal({self.atom!r})"
+
+
+class SymbolPattern(Literal):
+    """Match the bare symbol ``name`` (e.g. the ``ADAPT`` marker atom)."""
+
+    __slots__ = ()
+
+    def __init__(self, name: str):
+        super().__init__(Symbol(name))
+
+
+class TuplePattern(Pattern):
+    """Match a :class:`~repro.hocl.atoms.TupleAtom` element by element.
+
+    Element patterns are matched positionally.  A trailing :class:`Omega`
+    captures any remaining elements (as a list), allowing tuples of unknown
+    arity such as ``MVSRC : t : old : new`` to be matched partially.
+    """
+
+    __slots__ = ("elements", "rest")
+
+    def __init__(self, *elements: Any, rest: Omega | None = None):
+        if not elements and rest is None:
+            raise PatternError("TuplePattern requires at least one element pattern")
+        self.elements = tuple(as_pattern(e) for e in elements)
+        if any(isinstance(e, Omega) for e in self.elements):
+            raise PatternError("use the rest= parameter for omega capture in tuples")
+        self.rest = rest
+
+    def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
+        if not isinstance(atom, TupleAtom):
+            return
+        if self.rest is None:
+            if len(atom.elements) != len(self.elements):
+                return
+        elif len(atom.elements) < len(self.elements):
+            return
+
+        def recurse(index: int, env: Bindings) -> Iterator[Bindings]:
+            if index == len(self.elements):
+                if self.rest is None:
+                    yield env
+                else:
+                    extended = _bind(env, self.rest.name, list(atom.elements[index:]))
+                    if extended is not None:
+                        yield extended
+                return
+            for extended in self.elements[index].match(atom.elements[index], env):
+                yield from recurse(index + 1, extended)
+
+        yield from recurse(0, bindings)
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for element in self.elements:
+            names |= element.variables()
+        if self.rest is not None:
+            names |= self.rest.variables()
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"TuplePattern({', '.join(repr(e) for e in self.elements)}, rest={self.rest!r})"
+
+
+class SolutionPattern(Pattern):
+    """Match a :class:`~repro.hocl.atoms.Subsolution`.
+
+    Each element pattern must match a *distinct* atom of the sub-solution.
+    ``rest`` (an :class:`Omega`) binds the list of unmatched atoms; when
+    ``rest`` is ``None`` the sub-solution must contain exactly one atom per
+    element pattern (so ``SolutionPattern()`` matches only the empty
+    solution ``<>``).
+    """
+
+    __slots__ = ("elements", "rest")
+
+    def __init__(self, *elements: Any, rest: Omega | None = None):
+        patterns = []
+        rest_from_elements: Omega | None = None
+        for element in elements:
+            converted = as_pattern(element)
+            if isinstance(converted, Omega):
+                if rest_from_elements is not None:
+                    raise PatternError("a solution pattern may contain at most one omega")
+                rest_from_elements = converted
+            else:
+                patterns.append(converted)
+        if rest_from_elements is not None and rest is not None:
+            raise PatternError("omega supplied both positionally and via rest=")
+        self.elements = tuple(patterns)
+        self.rest = rest if rest is not None else rest_from_elements
+
+    def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
+        if not isinstance(atom, Subsolution):
+            return
+        contents = list(atom.solution)
+        if self.rest is None and len(contents) != len(self.elements):
+            return
+        if len(contents) < len(self.elements):
+            return
+
+        def recurse(index: int, used: list[int], env: Bindings) -> Iterator[Bindings]:
+            if index == len(self.elements):
+                if self.rest is None:
+                    yield env
+                else:
+                    remainder = [c for pos, c in enumerate(contents) if pos not in used]
+                    extended = _bind(env, self.rest.name, remainder)
+                    if extended is not None:
+                        yield extended
+                return
+            pattern = self.elements[index]
+            for pos, candidate in enumerate(contents):
+                if pos in used:
+                    continue
+                for extended in pattern.match(candidate, env):
+                    yield from recurse(index + 1, used + [pos], extended)
+
+        yield from recurse(0, [], bindings)
+
+    def variables(self) -> set[str]:
+        names: set[str] = set()
+        for element in self.elements:
+            names |= element.variables()
+        if self.rest is not None:
+            names |= self.rest.variables()
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"SolutionPattern({', '.join(repr(e) for e in self.elements)}, rest={self.rest!r})"
+
+
+class RulePattern(Pattern):
+    """Match a rule atom, optionally by rule name, and bind it.
+
+    This provides the higher-order feature of HOCL: the ``clean`` rule of the
+    getMax example removes the ``max`` rule by matching it.
+    """
+
+    __slots__ = ("name", "bind_as")
+
+    def __init__(self, name: str | None = None, bind_as: str | None = None):
+        self.name = name
+        self.bind_as = bind_as
+
+    def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
+        from .rules import Rule  # local import to avoid a cycle
+
+        if not isinstance(atom, Rule):
+            return
+        if self.name is not None and atom.name != self.name:
+            return
+        if self.bind_as is None:
+            yield bindings
+            return
+        extended = _bind(bindings, self.bind_as, atom)
+        if extended is not None:
+            yield extended
+
+    def variables(self) -> set[str]:
+        return {self.bind_as} if self.bind_as else set()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RulePattern(name={self.name!r}, bind_as={self.bind_as!r})"
+
+
+def as_pattern(value: Any) -> Pattern:
+    """Coerce ``value`` into a :class:`Pattern`.
+
+    Existing patterns pass through; any other value becomes a
+    :class:`Literal` matching that exact atom.  Strings are treated as
+    literal string atoms — use :class:`Var`/:class:`SymbolPattern`
+    explicitly when a variable or symbol is intended.
+    """
+    if isinstance(value, Pattern):
+        return value
+    return Literal(value)

@@ -1,0 +1,253 @@
+"""Reaction rules — the higher-order citizens of HOCL.
+
+A :class:`Rule` pairs a left-hand side (a sequence of patterns plus an
+optional reaction condition) with a right-hand side (a sequence of product
+templates).  Rules are themselves atoms, so they live inside the solution
+they rewrite, can be matched by other rules (higher order), and can be
+injected or removed at run time — which is exactly the mechanism GinFlow uses
+for on-the-fly workflow adaptation.
+
+Two firing disciplines exist, mirroring the paper's syntax:
+
+* ``replace`` (``one_shot=False``) — the rule stays in the solution after it
+  fires and may fire again (n-shot), like ``gw_pass``.
+* ``replace-one`` (``one_shot=True``) — the rule disappears from the solution
+  once it has fired, like ``gw_setup`` and ``gw_call``.  The paper relies on
+  this to make duplicate message deliveries harmless after an agent recovery.
+
+The ``with X inject M`` sugar of HOCLflow is provided by
+:func:`Rule.with_inject`: it keeps the matched atoms and adds the injected
+ones (it is defined in the paper as ``replace-one X by X, M``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Sequence
+
+from .atoms import Atom, from_atom
+from .errors import RuleError
+from .matching import Match, find_first_match, find_matches
+from .multiset import Multiset
+from .patterns import Bindings, Pattern, as_pattern
+from .templates import Template, expand_templates
+
+__all__ = ["BindingView", "Rule", "replace", "replace_one", "with_inject"]
+
+
+class BindingView(dict):
+    """A bindings dictionary with convenience accessors.
+
+    The raw mapping stores atom objects (or lists of atoms for omegas); the
+    :meth:`value` helper unwraps them into plain Python values, which is what
+    reaction conditions usually want (``lambda b: b.value("x") >= b.value("y")``).
+    """
+
+    def value(self, name: str) -> Any:
+        """Unwrapped Python value of variable ``name``."""
+        bound = self[name]
+        if isinstance(bound, list):
+            return [from_atom(item) for item in bound]
+        return from_atom(bound)
+
+    def atom(self, name: str) -> Any:
+        """Raw atom (or list of atoms) bound to ``name``."""
+        return self[name]
+
+
+#: Type of reaction conditions: a predicate over the binding environment.
+Condition = Callable[[BindingView], bool]
+
+#: Type of side-effect hooks invoked when a rule fires (used by the
+#: decentralised engine to emit messages).
+EffectHook = Callable[[BindingView], None]
+
+
+class Rule(Atom):
+    """A reaction rule, itself an atom of the solution.
+
+    Parameters
+    ----------
+    name:
+        Rule name (``gw_setup``, ``trigger_adapt``...).  Names are what
+        higher-order patterns match on, and what diagnostics print.
+    patterns:
+        Left-hand-side patterns; each must match a distinct atom.
+    products:
+        Right-hand-side templates (see :mod:`repro.hocl.templates`); plain
+        values are literals.
+    condition:
+        Optional reaction condition on the binding environment.
+    one_shot:
+        ``True`` for ``replace-one`` rules, removed after firing.
+    keep_matched:
+        ``True`` for ``with ... inject`` rules: the matched atoms are put
+        back in addition to the products.
+    effect:
+        Optional side-effect hook called (with the bindings) every time the
+        rule fires — after the products have been computed.  The
+        decentralised engine uses this to send messages to other agents.
+    priority:
+        Rules with a higher priority are tried first by the engine; used by
+        GinFlow to favour adaptation rules over regular progress when both
+        are enabled.
+    """
+
+    __slots__ = (
+        "name",
+        "patterns",
+        "products",
+        "condition",
+        "one_shot",
+        "keep_matched",
+        "effect",
+        "priority",
+    )
+    kind = "rule"
+
+    def __init__(
+        self,
+        name: str,
+        patterns: Sequence[Any],
+        products: Sequence[Any] = (),
+        condition: Condition | None = None,
+        one_shot: bool = False,
+        keep_matched: bool = False,
+        effect: EffectHook | None = None,
+        priority: int = 0,
+    ):
+        if not name:
+            raise RuleError("rules require a non-empty name")
+        if not patterns:
+            raise RuleError(f"rule {name!r} has an empty left-hand side")
+        self.name = name
+        self.patterns = tuple(as_pattern(p) for p in patterns)
+        self.products = tuple(products)
+        self.condition = condition
+        self.one_shot = bool(one_shot)
+        self.keep_matched = bool(keep_matched)
+        self.effect = effect
+        self.priority = int(priority)
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def with_inject(
+        cls,
+        name: str,
+        patterns: Sequence[Any],
+        inject: Sequence[Any],
+        condition: Condition | None = None,
+        effect: EffectHook | None = None,
+        priority: int = 0,
+    ) -> "Rule":
+        """Build a ``with X inject M`` rule (one-shot, keeps the matched atoms)."""
+        return cls(
+            name,
+            patterns,
+            products=inject,
+            condition=condition,
+            one_shot=True,
+            keep_matched=True,
+            effect=effect,
+            priority=priority,
+        )
+
+    # -------------------------------------------------------------- matching
+    def _wrapped_condition(self) -> Callable[[Bindings], bool] | None:
+        if self.condition is None:
+            return None
+        condition = self.condition
+
+        def wrapped(bindings: Bindings) -> bool:
+            # A condition that cannot even be evaluated on the candidate
+            # atoms (e.g. comparing an integer with a rule) simply means the
+            # reaction is not possible — mirror HOCL's typed semantics by
+            # treating it as a non-match rather than an error.
+            try:
+                return bool(condition(BindingView(bindings)))
+            except (TypeError, KeyError, AttributeError):
+                return False
+
+        return wrapped
+
+    def find_match(self, solution: Multiset, initial_bindings: Bindings | None = None) -> Match | None:
+        """First match of this rule's left-hand side in ``solution``, or ``None``."""
+        return find_first_match(self.patterns, solution, self._wrapped_condition(), initial_bindings)
+
+    def find_all_matches(self, solution: Multiset) -> Iterator[Match]:
+        """Iterate over every current match of the rule in ``solution``."""
+        return find_matches(self.patterns, solution, self._wrapped_condition())
+
+    def is_applicable(self, solution: Multiset) -> bool:
+        """Whether the rule can fire on ``solution`` right now."""
+        return self.find_match(solution) is not None
+
+    # -------------------------------------------------------------- products
+    def produce(self, match: Match, externals: Any = None) -> list[Atom]:
+        """Atoms produced by firing the rule on ``match`` (not yet inserted)."""
+        view = BindingView(match.bindings)
+        produced: list[Atom] = []
+        if self.keep_matched:
+            produced.extend(match.consumed)
+        produced.extend(expand_templates(self.products, view, externals))
+        return produced
+
+    def fire_effect(self, match: Match) -> None:
+        """Run the side-effect hook, if any."""
+        if self.effect is not None:
+            self.effect(BindingView(match.bindings))
+
+    # -------------------------------------------------------------- identity
+    def copy(self) -> "Rule":
+        return self  # rules are immutable; sharing is safe
+
+    def __eq__(self, other: object) -> bool:
+        # Rules compare by identity-or-name: two rules built from the same
+        # definition (same name) are interchangeable inside a solution.  This
+        # matches the paper's usage where e.g. `gw_setup` denotes *the* setup
+        # rule regardless of the sub-solution holding it.
+        if self is other:
+            return True
+        return isinstance(other, Rule) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("Rule", self.name))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        mode = "replace-one" if self.one_shot else "replace"
+        return f"Rule({self.name!r}, {mode}, {len(self.patterns)} patterns)"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def replace(
+    name: str,
+    patterns: Sequence[Any],
+    products: Sequence[Any],
+    condition: Condition | None = None,
+    **kwargs: Any,
+) -> Rule:
+    """Convenience constructor for an n-shot ``replace`` rule."""
+    return Rule(name, patterns, products, condition=condition, one_shot=False, **kwargs)
+
+
+def replace_one(
+    name: str,
+    patterns: Sequence[Any],
+    products: Sequence[Any],
+    condition: Condition | None = None,
+    **kwargs: Any,
+) -> Rule:
+    """Convenience constructor for a one-shot ``replace-one`` rule."""
+    return Rule(name, patterns, products, condition=condition, one_shot=True, **kwargs)
+
+
+def with_inject(
+    name: str,
+    patterns: Sequence[Any],
+    inject: Sequence[Any],
+    condition: Condition | None = None,
+    **kwargs: Any,
+) -> Rule:
+    """Convenience constructor for a ``with X inject M`` rule."""
+    return Rule.with_inject(name, patterns, inject, condition=condition, **kwargs)

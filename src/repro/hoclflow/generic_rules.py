@@ -1,0 +1,232 @@
+"""The generic workflow enactment rules of Fig. 4.
+
+Three rules are enough to execute any (non-adaptive) workflow encoded as in
+Fig. 3:
+
+``gw_setup`` (``replace-one``, lives in each task sub-solution)
+    Fires when every dependency is satisfied (``SRC : <>``); it turns the
+    collected inputs (``IN``) into the ordered parameter list (``PAR``).
+
+``gw_call`` (``replace-one``, lives in each task sub-solution)
+    Fires once the parameters are ready; it invokes the service (through the
+    ``invoke`` external function) and stores the result — or ``ERROR`` — in
+    ``RES``.
+
+``gw_pass`` (``replace``, lives in the global solution)
+    Moves a produced result from a source task to one destination task,
+    removing the corresponding ``DST``/``SRC`` dependency entries; repeated
+    applications cover every edge of the DAG.
+
+The rules here are the *centralised* versions: they assume every task
+sub-solution lives in one multiset rewritten by one interpreter, exactly as
+in Section III-B.  The decentralised variants (where ``gw_pass`` becomes a
+message send) are built by :mod:`repro.agents.local_rules` on top of the same
+building blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.hocl import (
+    Atom,
+    BindingView,
+    Call,
+    ExternalRegistry,
+    ListAtom,
+    Omega,
+    Rule,
+    SolutionPattern,
+    SolutionTemplate,
+    Splice,
+    Symbol,
+    SymbolPattern,
+    TuplePattern,
+    TupleTemplate,
+    Ref,
+    Var,
+    from_atom,
+)
+
+from . import keywords as kw
+from .fields import build_parameters
+
+__all__ = [
+    "make_gw_setup",
+    "make_gw_call",
+    "make_gw_pass",
+    "generic_task_rules",
+    "register_workflow_externals",
+]
+
+
+def make_gw_setup() -> Rule:
+    """``gw_setup``: when ``SRC`` is empty, build ``PAR`` from ``IN`` (one-shot).
+
+    Paper (4.01-4.03)::
+
+        gw_setup = replace-one SRC : <>, IN : <w>
+                   by SRC : <>, PAR : list(w)
+    """
+    return Rule(
+        name="gw_setup",
+        patterns=[
+            TuplePattern(SymbolPattern(kw.SRC), SolutionPattern()),
+            TuplePattern(SymbolPattern(kw.IN), SolutionPattern(rest=Omega("win"))),
+        ],
+        products=[
+            TupleTemplate(kw.SRC_SYM, SolutionTemplate()),
+            TupleTemplate(kw.PAR_SYM, Call("params", Splice("win"))),
+        ],
+        one_shot=True,
+    )
+
+
+def make_gw_call(task_name: str) -> Rule:
+    """``gw_call``: invoke the service on the prepared parameters (one-shot).
+
+    Paper (4.04-4.06)::
+
+        gw_call = replace-one SRC : <>, SRV : s, PAR : p, RES : <w>
+                  by SRC : <>, SRV : s, RES : <invoke(s, p), w>
+
+    The task name is baked into the ``invoke`` call so the external function
+    knows which task's metadata (duration, forced errors, ...) applies — the
+    paper's interpreter gets the same information from the enclosing agent.
+    """
+    return Rule(
+        name="gw_call",
+        patterns=[
+            TuplePattern(SymbolPattern(kw.SRC), SolutionPattern()),
+            TuplePattern(SymbolPattern(kw.SRV), Var("s")),
+            TuplePattern(SymbolPattern(kw.PAR), Var("par")),
+            TuplePattern(SymbolPattern(kw.RES), SolutionPattern(rest=Omega("wres"))),
+        ],
+        products=[
+            TupleTemplate(kw.SRC_SYM, SolutionTemplate()),
+            TupleTemplate(kw.SRV_SYM, Ref("s")),
+            TupleTemplate(
+                kw.RES_SYM,
+                SolutionTemplate(Call("invoke", task_name, Ref("s"), Ref("par")), Splice("wres")),
+            ),
+        ],
+        one_shot=True,
+    )
+
+
+def _gw_pass_condition(bindings: BindingView) -> bool:
+    """The transferred result must not be the ``ERROR`` marker."""
+    result = bindings.atom("res")
+    return not (isinstance(result, Symbol) and result.name == kw.ERROR)
+
+
+def make_gw_pass() -> Rule:
+    """``gw_pass``: move one result from a source to one destination (n-shot).
+
+    Paper (4.07-4.11)::
+
+        gw_pass = replace Ti : <RES : <wres>, DST : <Tj, wdst>, wi>,
+                          Tj : <SRC : <Ti, wsrc>, IN : <win>, wj>
+                  by      Ti : <RES : <wres>, DST : <wdst>, wi>,
+                          Tj : <SRC : <wsrc>, IN : <wres, win>, wj>
+
+    Two refinements over the figure (both discussed in DESIGN.md): the rule
+    only fires when a non-``ERROR`` result is present, and the transferred
+    value is tagged with its producer (``Ti : value``) inside the
+    destination's ``IN``.
+    """
+    return Rule(
+        name="gw_pass",
+        patterns=[
+            TuplePattern(
+                Var("ti", kind="symbol"),
+                SolutionPattern(
+                    TuplePattern(SymbolPattern(kw.RES), SolutionPattern(Var("res"), rest=Omega("wres"))),
+                    TuplePattern(SymbolPattern(kw.DST), SolutionPattern(Var("tj", kind="symbol"), rest=Omega("wdst"))),
+                    rest=Omega("wi"),
+                ),
+            ),
+            TuplePattern(
+                Var("tj", kind="symbol"),
+                SolutionPattern(
+                    TuplePattern(SymbolPattern(kw.SRC), SolutionPattern(Var("ti", kind="symbol"), rest=Omega("wsrc"))),
+                    TuplePattern(SymbolPattern(kw.IN), SolutionPattern(rest=Omega("win"))),
+                    rest=Omega("wj"),
+                ),
+            ),
+        ],
+        products=[
+            TupleTemplate(
+                Ref("ti"),
+                SolutionTemplate(
+                    TupleTemplate(kw.RES_SYM, SolutionTemplate(Ref("res"), Splice("wres"))),
+                    TupleTemplate(kw.DST_SYM, SolutionTemplate(Splice("wdst"))),
+                    Splice("wi"),
+                ),
+            ),
+            TupleTemplate(
+                Ref("tj"),
+                SolutionTemplate(
+                    TupleTemplate(kw.SRC_SYM, SolutionTemplate(Splice("wsrc"))),
+                    TupleTemplate(
+                        kw.IN_SYM,
+                        SolutionTemplate(TupleTemplate(Ref("ti"), Ref("res")), Splice("win")),
+                    ),
+                    Splice("wj"),
+                ),
+            ),
+        ],
+        condition=_gw_pass_condition,
+        one_shot=False,
+    )
+
+
+def generic_task_rules(task_name: str) -> list[Rule]:
+    """The per-task generic rules (``gw_setup`` and ``gw_call``)."""
+    return [make_gw_setup(), make_gw_call(task_name)]
+
+
+#: Signature of the service-invocation callback plugged into the registry:
+#: ``invoke(task_name, service_name, parameters) -> result value`` (return
+#: the string ``"ERROR"``/the ERROR symbol, or raise, to signal failure).
+InvokeCallback = Callable[[str, str, list[Any]], Any]
+
+
+def register_workflow_externals(
+    registry: ExternalRegistry,
+    invoke: InvokeCallback,
+) -> ExternalRegistry:
+    """Register the ``params`` and ``invoke`` externals used by the generic rules.
+
+    ``invoke`` failures (exceptions) are converted into the ``ERROR`` marker
+    atom, which is what enables the adaptation rules downstream.
+    """
+
+    def params_external(args: list[Atom], _bindings: Any) -> ListAtom:
+        return ListAtom(build_parameters(args))
+
+    def invoke_external(args: list[Atom], _bindings: Any) -> Atom:
+        if len(args) != 3:
+            raise ValueError(f"invoke expects (task, service, parameters), got {len(args)} arguments")
+        task_name = str(from_atom(args[0]))
+        service_name = str(from_atom(args[1]))
+        parameters = from_atom(args[2])
+        if not isinstance(parameters, list):
+            parameters = [parameters]
+        try:
+            result = invoke(task_name, service_name, parameters)
+        except Exception:  # noqa: BLE001 - a failed invocation is an ERROR result
+            return kw.ERROR_SYM
+        if isinstance(result, Symbol) and result.name == kw.ERROR:
+            return kw.ERROR_SYM
+        if isinstance(result, str) and result == kw.ERROR:
+            return kw.ERROR_SYM
+        if isinstance(result, Atom):
+            return result
+        from repro.hocl import to_atom
+
+        return to_atom(result)
+
+    registry.register("params", params_external)
+    registry.register("invoke", invoke_external)
+    return registry

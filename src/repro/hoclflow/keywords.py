@@ -1,0 +1,87 @@
+"""Reserved keywords of HOCLflow.
+
+The paper extends HOCL with reserved atoms for workflow management
+(Section III-A/III-B).  Each keyword is a plain :class:`~repro.hocl.atoms.Symbol`;
+this module names them once so the rest of the code never spells raw strings.
+
+========  =====================================================================
+Keyword   Meaning
+========  =====================================================================
+SRC       incoming dependencies of a task (tasks it still waits for)
+DST       outgoing dependencies of a task (tasks it must send its result to)
+SRV       name of the service implementing the task
+IN        input values received so far (initial inputs plus transferred results)
+PAR       parameter list passed to the service invocation
+RES       result(s) of the service invocation (or ERROR)
+ADAPT     marker injected into a task to enable its adaptation rules
+TRIGGER   placeholder dependency keeping a replacement task idle until adaptation
+ADDDST    user-level atom: "add this destination to that task" (compiled to add_dst)
+MVSRC     user-level atom: "move that task's source from X to Y" (compiled to mv_src)
+ERROR     result marker reported by a failed service invocation
+INVOKING  internal marker set by the decentralised gw_call while a service runs
+========  =====================================================================
+"""
+
+from __future__ import annotations
+
+from repro.hocl import Symbol
+
+__all__ = [
+    "SRC",
+    "DST",
+    "SRV",
+    "IN",
+    "PAR",
+    "RES",
+    "ADAPT",
+    "TRIGGER",
+    "ADDDST",
+    "MVSRC",
+    "ERROR",
+    "INVOKING",
+    "SRC_SYM",
+    "DST_SYM",
+    "SRV_SYM",
+    "IN_SYM",
+    "PAR_SYM",
+    "RES_SYM",
+    "ADAPT_SYM",
+    "TRIGGER_SYM",
+    "ADDDST_SYM",
+    "MVSRC_SYM",
+    "ERROR_SYM",
+    "INVOKING_SYM",
+    "RESERVED_KEYWORDS",
+]
+
+SRC = "SRC"
+DST = "DST"
+SRV = "SRV"
+IN = "IN"
+PAR = "PAR"
+RES = "RES"
+ADAPT = "ADAPT"
+TRIGGER = "TRIGGER"
+ADDDST = "ADDDST"
+MVSRC = "MVSRC"
+ERROR = "ERROR"
+INVOKING = "INVOKING"
+
+#: The reserved keyword strings, as a frozen set (used by validation and by
+#: the JSON front-end to reject task names that would clash).
+RESERVED_KEYWORDS = frozenset(
+    {SRC, DST, SRV, IN, PAR, RES, ADAPT, TRIGGER, ADDDST, MVSRC, ERROR, INVOKING}
+)
+
+SRC_SYM = Symbol(SRC)
+DST_SYM = Symbol(DST)
+SRV_SYM = Symbol(SRV)
+IN_SYM = Symbol(IN)
+PAR_SYM = Symbol(PAR)
+RES_SYM = Symbol(RES)
+ADAPT_SYM = Symbol(ADAPT)
+TRIGGER_SYM = Symbol(TRIGGER)
+ADDDST_SYM = Symbol(ADDDST)
+MVSRC_SYM = Symbol(MVSRC)
+ERROR_SYM = Symbol(ERROR)
+INVOKING_SYM = Symbol(INVOKING)

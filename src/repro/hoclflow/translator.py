@@ -1,0 +1,183 @@
+"""Translation of a user-level workflow into its HOCL encoding.
+
+This is the step the paper performs "in a transparent way before the actual
+execution of the workflow starts" (Section IV-D): starting from the abstract
+DAG (plus adaptation specifications), produce
+
+* one *task encoding* per task — its ``SRC``/``DST``/``SRV``/``IN``/``RES``
+  fields and the rules that live inside its sub-solution (``gw_setup``,
+  ``gw_call`` and any adaptation rule assigned to it), and
+* the *global* rules — ``gw_pass`` and one ``trigger_adapt`` per (adaptation,
+  trigger task) pair.
+
+The same encoding feeds both execution modes: the centralised executor folds
+everything into a single multiset (the concrete workflow of Fig. 8), while
+the distributed executors hand each task encoding to its service agent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.hocl import Multiset, Rule, Subsolution, Symbol, TupleAtom
+from repro.workflow.dag import Workflow
+
+from . import keywords as kw
+from .adaptation import AdaptationPlan, build_plan, make_activate, make_add_dst, make_mv_src, make_trigger_adapt
+from .fields import task_solution
+from .generic_rules import generic_task_rules, make_gw_pass
+
+__all__ = ["TaskEncoding", "WorkflowEncoding", "encode_workflow"]
+
+
+@dataclass
+class TaskEncoding:
+    """Everything needed to instantiate one task, locally or centrally.
+
+    Attributes
+    ----------
+    name, service, inputs, duration, metadata:
+        Copied from the :class:`~repro.workflow.dag.Task` (replacement tasks
+        come from their replacement sub-workflow).
+    sources:
+        Tasks whose results this task waits for (its initial ``SRC``), plus
+        the ``TRIGGER`` placeholder for replacement entry tasks.
+    destinations:
+        Tasks this task sends its result to (its initial ``DST``).
+    local_rules:
+        Rules living inside the task's sub-solution.
+    trigger_plans:
+        Adaptation plans triggered by this task's failure (used by the
+        decentralised engine, where the trigger is a message rather than a
+        global rule).
+    is_replacement:
+        Whether the task belongs to a replacement sub-workflow (idle until
+        its adaptation fires).
+    adaptation:
+        Name of the adaptation owning this replacement task, if any.
+    """
+
+    name: str
+    service: str
+    inputs: list[Any]
+    duration: float
+    metadata: dict[str, Any]
+    sources: list[str]
+    destinations: list[str]
+    has_trigger_placeholder: bool = False
+    local_rules: list[Rule] = field(default_factory=list)
+    trigger_plans: list[AdaptationPlan] = field(default_factory=list)
+    is_replacement: bool = False
+    adaptation: str | None = None
+
+    def initial_solution(self, include_rules: bool = True) -> Multiset:
+        """The task's initial (local) solution."""
+        sources: list[str] = list(self.sources)
+        extra: list[Any] = []
+        solution = task_solution(
+            source_tasks=sources + ([kw.TRIGGER] if self.has_trigger_placeholder else []),
+            destination_tasks=self.destinations,
+            service=self.service,
+            inputs=self.inputs,
+            extra_atoms=extra,
+        )
+        if include_rules:
+            solution.add_all(self.local_rules)
+        return solution
+
+    def as_tuple(self, include_rules: bool = True) -> TupleAtom:
+        """The ``Tname : <...>`` tuple used in the centralised multiset."""
+        return TupleAtom([Symbol(self.name), Subsolution(self.initial_solution(include_rules))])
+
+
+@dataclass
+class WorkflowEncoding:
+    """The complete HOCL encoding of a workflow (tasks + global rules)."""
+
+    workflow: Workflow
+    tasks: dict[str, TaskEncoding]
+    global_rules: list[Rule]
+    plans: list[AdaptationPlan]
+
+    def task_names(self) -> list[str]:
+        """Every encoded task (original + replacement), in insertion order."""
+        return list(self.tasks)
+
+    def exit_tasks(self) -> list[str]:
+        """Tasks whose results mark workflow completion (original exits)."""
+        return self.workflow.exit_tasks()
+
+    def replacement_tasks(self) -> list[str]:
+        """Names of the replacement tasks (deployed but initially idle)."""
+        return [name for name, encoding in self.tasks.items() if encoding.is_replacement]
+
+    def to_multiset(self, include_rules: bool = True) -> Multiset:
+        """The centralised concrete workflow (Fig. 8): one global multiset."""
+        solution = Multiset()
+        if include_rules:
+            solution.add_all(self.global_rules)
+        for encoding in self.tasks.values():
+            solution.add(encoding.as_tuple(include_rules))
+        return solution
+
+
+def encode_workflow(workflow: Workflow) -> WorkflowEncoding:
+    """Encode ``workflow`` (and its adaptations) into HOCL building blocks."""
+    workflow.validate()
+    plans = [build_plan(workflow, spec) for spec in workflow.adaptations]
+
+    encodings: dict[str, TaskEncoding] = {}
+
+    # --- original tasks ----------------------------------------------------
+    for task in workflow:
+        encodings[task.name] = TaskEncoding(
+            name=task.name,
+            service=task.service,
+            inputs=list(task.inputs),
+            duration=task.duration,
+            metadata=dict(task.metadata),
+            sources=workflow.predecessors(task.name),
+            destinations=workflow.successors(task.name),
+            local_rules=generic_task_rules(task.name),
+        )
+
+    # --- replacement tasks --------------------------------------------------
+    for plan in plans:
+        replacement = plan.spec.replacement
+        entry_tasks = set(plan.entry_tasks)
+        exit_tasks = set(plan.exit_tasks)
+        for task in replacement:
+            sources = replacement.predecessors(task.name)
+            destinations = replacement.successors(task.name)
+            if task.name in entry_tasks:
+                sources = list(plan.spec.entry_sources.get(task.name, [])) + sources
+            if task.name in exit_tasks:
+                destinations = destinations + [plan.destination]
+            encodings[task.name] = TaskEncoding(
+                name=task.name,
+                service=task.service,
+                inputs=list(task.inputs),
+                duration=task.duration,
+                metadata=dict(task.metadata),
+                sources=sources,
+                destinations=destinations,
+                has_trigger_placeholder=task.name in entry_tasks,
+                local_rules=generic_task_rules(task.name),
+                is_replacement=True,
+                adaptation=plan.spec.name,
+            )
+
+    # --- adaptation rules ---------------------------------------------------
+    global_rules: list[Rule] = [make_gw_pass()]
+    for plan in plans:
+        for trigger_task in plan.trigger_tasks:
+            global_rules.append(make_trigger_adapt(plan, trigger_task))
+            encodings[trigger_task].trigger_plans.append(plan)
+        for source in plan.sources:
+            encodings[source].local_rules.append(make_add_dst(plan, source))
+        encodings[plan.destination].local_rules.append(make_mv_src(plan))
+        for entry in plan.entry_tasks:
+            encodings[entry].local_rules.append(make_activate(plan, entry))
+
+    return WorkflowEncoding(workflow=workflow, tasks=encodings, global_rules=global_rules, plans=plans)

@@ -1,0 +1,32 @@
+"""Message-queue substrate: ActiveMQ-like and Kafka-like brokers."""
+
+from .activemq import ActiveMQBroker
+from .broker import (
+    ACTIVEMQ_PROFILE,
+    KAFKA_PROFILE,
+    Broker,
+    BrokerProfile,
+    InProcessBroker,
+    MessageLog,
+    profile_by_name,
+)
+from .kafka import KafkaBroker
+from .message import STATUS_TOPIC, Message, MessageKind, agent_topic
+from .simulated import SimulatedBroker
+
+__all__ = [
+    "Message",
+    "MessageKind",
+    "agent_topic",
+    "STATUS_TOPIC",
+    "Broker",
+    "BrokerProfile",
+    "InProcessBroker",
+    "MessageLog",
+    "profile_by_name",
+    "ACTIVEMQ_PROFILE",
+    "KAFKA_PROFILE",
+    "ActiveMQBroker",
+    "KafkaBroker",
+    "SimulatedBroker",
+]

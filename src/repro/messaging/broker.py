@@ -1,0 +1,210 @@
+"""Broker abstractions: profiles, persistent logs, and the broker interface.
+
+The paper supports two message-queue middlewares and uses exactly two of
+their properties:
+
+* their relative **per-message cost** (Fig. 14 shows the whole workflow
+  running ≈ 4× slower on Kafka than on ActiveMQ), captured here by
+  :class:`BrokerProfile`;
+* Kafka's **persistent, replayable log**, which is what makes the SA
+  fault-recovery mechanism of Section IV-B possible, captured by
+  :class:`MessageLog` and the ``persistent`` flag.
+
+Concrete broker implementations come in two flavours: the in-process,
+thread-safe brokers of :mod:`repro.messaging.activemq` /
+:mod:`repro.messaging.kafka` used by the threaded runtime, and the
+virtual-time :class:`~repro.messaging.simulated.SimulatedBroker` used by the
+simulation runtime.  All share the profiles and log defined here.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from .message import Message
+
+__all__ = ["BrokerProfile", "ACTIVEMQ_PROFILE", "KAFKA_PROFILE", "MessageLog", "Broker", "profile_by_name"]
+
+
+@dataclass(frozen=True)
+class BrokerProfile:
+    """Performance/feature profile of a message-queue middleware.
+
+    Attributes
+    ----------
+    name:
+        ``"activemq"`` or ``"kafka"`` (other middlewares can be described the
+        same way).
+    per_message_time:
+        Broker-side processing time per message (seconds); messages queue
+        behind each other on the broker's dispatcher.
+    delivery_overhead:
+        Fixed client-side overhead added to every delivery (serialisation,
+        acknowledgement round-trip).
+    persistent:
+        Whether messages are durably logged and can be replayed — required by
+        the agent-recovery mechanism.
+    """
+
+    name: str
+    per_message_time: float
+    delivery_overhead: float
+    persistent: bool
+
+    def scaled(self, factor: float) -> "BrokerProfile":
+        """A profile with all time costs multiplied by ``factor``."""
+        return BrokerProfile(
+            name=self.name,
+            per_message_time=self.per_message_time * factor,
+            delivery_overhead=self.delivery_overhead * factor,
+            persistent=self.persistent,
+        )
+
+
+#: ActiveMQ 5.6-like profile: fast, transient messaging.  The constants are
+#: calibrated so that the reproduced Fig. 12/14 keep the paper's shape (see
+#: DESIGN.md and repro.runtime.costs).
+ACTIVEMQ_PROFILE = BrokerProfile(
+    name="activemq",
+    per_message_time=0.002,
+    delivery_overhead=0.050,
+    persistent=False,
+)
+
+#: Kafka 0.8-like profile: markedly higher per-message cost (synchronous,
+#: replicated, disk-backed publishes — the paper measures the whole workflow
+#: running ≈ 4× slower) but persistent and replayable.
+KAFKA_PROFILE = BrokerProfile(
+    name="kafka",
+    per_message_time=0.150,
+    delivery_overhead=0.080,
+    persistent=True,
+)
+
+
+def profile_by_name(name: str) -> BrokerProfile:
+    """Resolve a broker profile from its name (``"activemq"`` / ``"kafka"``)."""
+    lowered = name.lower()
+    if lowered == "activemq":
+        return ACTIVEMQ_PROFILE
+    if lowered == "kafka":
+        return KAFKA_PROFILE
+    raise ValueError(f"unknown broker {name!r} (expected 'activemq' or 'kafka')")
+
+
+class MessageLog:
+    """An append-only, offset-addressed log of messages per topic.
+
+    This is the Kafka feature the recovery mechanism relies on: "we exploit
+    the ability of Kafka to persist the messages exchanged by the services
+    and to replay them on demand" (Section IV-B).
+    """
+
+    def __init__(self) -> None:
+        self._topics: dict[str, list[Message]] = {}
+        self._lock = threading.Lock()
+
+    def append(self, message: Message) -> int:
+        """Store ``message``; returns its offset within its topic."""
+        with self._lock:
+            log = self._topics.setdefault(message.topic, [])
+            log.append(message)
+            return len(log) - 1
+
+    def replay(self, topic: str, from_offset: int = 0) -> list[Message]:
+        """Messages of ``topic`` starting at ``from_offset``, in publication order."""
+        with self._lock:
+            return list(self._topics.get(topic, [])[from_offset:])
+
+    def size(self, topic: str) -> int:
+        """Number of messages stored for ``topic``."""
+        with self._lock:
+            return len(self._topics.get(topic, []))
+
+    def topics(self) -> list[str]:
+        """Every topic with at least one stored message."""
+        with self._lock:
+            return sorted(self._topics)
+
+
+class Broker:
+    """Interface shared by every broker implementation."""
+
+    profile: BrokerProfile
+
+    def publish(self, message: Message) -> None:
+        """Publish ``message`` on its topic."""
+        raise NotImplementedError
+
+    def subscribe(self, topic: str, callback: Callable[[Message], None]) -> None:
+        """Register ``callback`` for every message published on ``topic``."""
+        raise NotImplementedError
+
+    def unsubscribe(self, topic: str, callback: Callable[[Message], None]) -> None:
+        """Remove a previously registered callback (no error if absent)."""
+        raise NotImplementedError
+
+    def replay(self, topic: str, from_offset: int = 0) -> list[Message]:
+        """Replay the persisted messages of ``topic`` (persistent brokers only)."""
+        raise NotImplementedError
+
+    @property
+    def supports_replay(self) -> bool:
+        """Whether the broker can replay past messages (Kafka-like)."""
+        return self.profile.persistent
+
+    def published_count(self) -> int:
+        """Total number of messages published so far (diagnostics)."""
+        raise NotImplementedError
+
+
+class InProcessBroker(Broker):
+    """A thread-safe, in-process broker used by the threaded runtime.
+
+    Delivery is synchronous from the publisher's thread (the subscribing
+    agent enqueues the message into its own inbox, so the publisher never
+    blocks on the consumer's work).
+    """
+
+    def __init__(self, profile: BrokerProfile):
+        self.profile = profile
+        self._subscribers: dict[str, list[Callable[[Message], None]]] = {}
+        self._log = MessageLog() if profile.persistent else None
+        self._published = 0
+        self._lock = threading.Lock()
+
+    def publish(self, message: Message) -> None:
+        if self._log is not None:
+            self._log.append(message)
+        with self._lock:
+            self._published += 1
+            callbacks = list(self._subscribers.get(message.topic, []))
+        for callback in callbacks:
+            callback(message)
+
+    def subscribe(self, topic: str, callback: Callable[[Message], None]) -> None:
+        with self._lock:
+            self._subscribers.setdefault(topic, []).append(callback)
+
+    def unsubscribe(self, topic: str, callback: Callable[[Message], None]) -> None:
+        with self._lock:
+            callbacks = self._subscribers.get(topic, [])
+            if callback in callbacks:
+                callbacks.remove(callback)
+
+    def replay(self, topic: str, from_offset: int = 0) -> list[Message]:
+        if self._log is None:
+            raise RuntimeError(f"broker {self.profile.name!r} is not persistent; cannot replay")
+        return self._log.replay(topic, from_offset)
+
+    def published_count(self) -> int:
+        return self._published
+
+    def subscriber_count(self, topic: str | None = None) -> int:
+        """Number of subscriptions (for one topic, or overall)."""
+        with self._lock:
+            if topic is not None:
+                return len(self._subscribers.get(topic, []))
+            return sum(len(callbacks) for callbacks in self._subscribers.values())

@@ -1,0 +1,78 @@
+"""Messages exchanged between service agents and the shared space.
+
+Three kinds of messages circulate in GinFlow (Section IV-A):
+
+* ``RESULT`` — a task's result transferred point-to-point to one destination
+  agent (the decentralised ``gw_pass``);
+* ``ADAPT`` — the adaptation marker sent by the agent that detected a
+  failure to the agents that must reconfigure themselves;
+* ``STATUS`` — the update every agent pushes to the shared multiset so that
+  the workflow status stays observable.
+
+Messages are immutable value objects; the broker assigns the delivery
+metadata (offset, delivery time).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MessageKind", "Message", "agent_topic", "STATUS_TOPIC"]
+
+_COUNTER = itertools.count(1)
+
+#: Topic on which every agent publishes its status updates (the shared multiset).
+STATUS_TOPIC = "ginflow.status"
+
+
+class MessageKind:
+    """String constants naming the message kinds."""
+
+    RESULT = "RESULT"
+    ADAPT = "ADAPT"
+    STATUS = "STATUS"
+    CONTROL = "CONTROL"
+
+
+def agent_topic(task_name: str) -> str:
+    """The broker topic on which the agent managing ``task_name`` listens."""
+    return f"ginflow.agent.{task_name}"
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message published on a broker topic.
+
+    Attributes
+    ----------
+    topic:
+        Destination topic (one per agent, plus the status topic).
+    kind:
+        One of :class:`MessageKind`.
+    sender:
+        Task name (or ``"coordinator"``) of the producer.
+    recipient:
+        Task name of the intended consumer (informational; the topic already
+        routes the message).
+    payload:
+        Message body: for ``RESULT`` the produced value, for ``ADAPT`` the
+        number of markers to inject, for ``STATUS`` a state dictionary.
+    size_bytes:
+        Approximate serialised size, used by the network model.
+    message_id:
+        Unique, monotonically increasing identifier (assigned at creation).
+    """
+
+    topic: str
+    kind: str
+    sender: str
+    recipient: str
+    payload: Any = None
+    size_bytes: int = 512
+    message_id: int = field(default_factory=lambda: next(_COUNTER))
+
+    def describe(self) -> str:
+        """Short human-readable description used by traces."""
+        return f"{self.kind} {self.sender}->{self.recipient} (#{self.message_id})"

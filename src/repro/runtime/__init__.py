@@ -1,0 +1,23 @@
+"""GinFlow runtimes: configuration, cost model, reports and execution modes."""
+
+from .config import BROKERS, EXECUTION_MODES, EXECUTORS, GinFlowConfig
+from .costs import CostModel
+from .ginflow import GinFlow
+from .results import RunReport, TaskOutcome
+from .simulation import SimulatedRun, run_simulation
+from .threaded import ThreadedRun, run_threaded
+
+__all__ = [
+    "GinFlow",
+    "GinFlowConfig",
+    "CostModel",
+    "RunReport",
+    "TaskOutcome",
+    "SimulatedRun",
+    "run_simulation",
+    "ThreadedRun",
+    "run_threaded",
+    "EXECUTION_MODES",
+    "EXECUTORS",
+    "BROKERS",
+]

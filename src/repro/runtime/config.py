@@ -1,0 +1,136 @@
+"""Run configuration of the GinFlow engine.
+
+A :class:`GinFlowConfig` bundles every knob a run needs: execution mode,
+executor, messaging middleware, cluster size, failure injection, cost model
+and seed.  The defaults reproduce the paper's common setup (distributed
+simulation over the 25-node Grid'5000 preset, ActiveMQ, no failures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.cluster import Cluster, NetworkModel, grid5000_cluster, grid5000_network
+from repro.executors import DistributedExecutor, MesosExecutor, SSHExecutor
+from repro.services import NO_FAILURES, FailureModel, ServiceRegistry
+
+from .costs import CostModel
+
+__all__ = ["GinFlowConfig", "EXECUTION_MODES", "EXECUTORS", "BROKERS"]
+
+#: Supported execution modes.
+EXECUTION_MODES = ("simulated", "threaded", "centralized")
+
+#: Supported distributed executors.
+EXECUTORS = ("ssh", "mesos")
+
+#: Supported messaging middlewares.
+BROKERS = ("activemq", "kafka")
+
+
+@dataclass
+class GinFlowConfig:
+    """Configuration of one GinFlow run.
+
+    Attributes
+    ----------
+    mode:
+        ``"simulated"`` (virtual-time distributed run, the default),
+        ``"threaded"`` (real threads on the local machine) or
+        ``"centralized"`` (single interpreter).
+    executor:
+        ``"ssh"`` or ``"mesos"`` (distributed modes only).
+    broker:
+        ``"activemq"`` or ``"kafka"``.
+    nodes:
+        Number of cluster nodes to use (taken from the Grid'5000 preset when
+        no explicit ``cluster`` is given).
+    cluster:
+        Explicit cluster (overrides ``nodes``).
+    network:
+        Network model (defaults to the Grid'5000 1 Gbps preset).
+    failures:
+        Failure-injection model (requires a persistent broker when enabled).
+    costs:
+        Cost model for the simulated runtime.
+    seed:
+        Root seed of every random stream of the run.
+    registry:
+        Service registry resolving task services.
+    threaded_time_scale:
+        In threaded mode, nominal task durations are multiplied by this
+        factor before sleeping (0 disables sleeping entirely).
+    collect_timeline:
+        Whether to keep the per-task event timeline in the report.
+    max_virtual_time:
+        Safety horizon of the simulation clock.
+    """
+
+    mode: str = "simulated"
+    executor: str = "ssh"
+    broker: str = "activemq"
+    nodes: int = 25
+    cluster: Cluster | None = None
+    network: NetworkModel | None = None
+    failures: FailureModel = NO_FAILURES
+    costs: CostModel = field(default_factory=CostModel)
+    seed: int = 1
+    registry: ServiceRegistry | None = None
+    threaded_time_scale: float = 0.0
+    collect_timeline: bool = True
+    max_virtual_time: float = 1_000_000.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # ------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Check the configuration coherence; raise ``ValueError`` otherwise."""
+        if self.mode not in EXECUTION_MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; expected one of {EXECUTION_MODES}")
+        if self.executor not in EXECUTORS:
+            raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
+        if self.broker not in BROKERS:
+            raise ValueError(f"unknown broker {self.broker!r}; expected one of {BROKERS}")
+        if self.nodes < 1:
+            raise ValueError("nodes must be >= 1")
+        if self.failures.enabled and not self.broker_profile().persistent:
+            raise ValueError(
+                "failure injection requires a persistent broker (Kafka): the recovery "
+                "mechanism replays the messages logged by the broker (Section IV-B)"
+            )
+        if self.threaded_time_scale < 0:
+            raise ValueError("threaded_time_scale must be >= 0")
+
+    # -------------------------------------------------------------- builders
+    def build_cluster(self) -> Cluster:
+        """The cluster to run on (explicit cluster, or Grid'5000 preset subset)."""
+        if self.cluster is not None:
+            return self.cluster
+        return grid5000_cluster(self.nodes)
+
+    def build_network(self) -> NetworkModel:
+        """The network model (explicit or Grid'5000 preset)."""
+        return self.network if self.network is not None else grid5000_network()
+
+    def build_executor(self) -> DistributedExecutor:
+        """The distributed executor instance."""
+        if self.executor == "ssh":
+            return SSHExecutor()
+        return MesosExecutor()
+
+    def broker_profile(self):
+        """The broker profile selected by ``broker`` (from the cost model)."""
+        return self.costs.broker_profile(self.broker)
+
+    def build_registry(self) -> ServiceRegistry:
+        """The service registry (a fresh default one when none was given)."""
+        return self.registry if self.registry is not None else ServiceRegistry()
+
+    # --------------------------------------------------------------- utility
+    def with_overrides(self, **overrides: Any) -> "GinFlowConfig":
+        """A copy of the configuration with some attributes replaced."""
+        config = replace(self, **overrides)
+        config.validate()
+        return config

@@ -1,0 +1,97 @@
+"""Cost model of the simulated distributed execution.
+
+The simulation executes the *real* chemistry (every agent runs the actual
+HOCL rules); what it models are the *durations* of the platform operations.
+This module gathers every such constant in one place so that experiments are
+reproducible and the calibration is explicit.
+
+The constants were calibrated so that the reproduced figures have the same
+shape (and roughly the same magnitudes) as the paper's:
+
+* per-message broker costs make message-heavy workflows (fully-connected
+  diamonds, Kafka runs) pay proportionally — Fig. 12(b), Fig. 14;
+* per-reduction costs grow with the size of the local solution, reproducing
+  the "pattern matching depends on the size of the solution" effect the
+  paper discusses in Section V-A;
+* executor constants reproduce the deployment-time trends of Fig. 14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.messaging.broker import ACTIVEMQ_PROFILE, KAFKA_PROFILE, BrokerProfile
+
+__all__ = ["CostModel"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Durations charged to the virtual clock by the simulated runtime.
+
+    Attributes
+    ----------
+    agent_boot_time:
+        Time for a freshly deployed SA to read its sub-solution from the
+        shared space and become ready.
+    handling_base:
+        Fixed cost of handling one stimulus (message receipt, invocation
+        completion): deserialisation, cache read/write.
+    reduction_unit_cost:
+        Cost per "reduction unit" (one match attempt over one atom of the
+        local solution) — the knob that makes coordination time grow with
+        the number and connectivity of services.
+    invocation_overhead:
+        Fixed overhead added to every service invocation (fork/exec of the
+        wrapped executable, input staging).
+    status_update_enabled:
+        Whether agents push STATUS messages to the shared space (they do in
+        GinFlow; disabling isolates the coordination cost in ablations).
+    status_update_size:
+        Serialised size of a STATUS message (bytes).
+    result_message_size:
+        Serialised size of a RESULT message (bytes).
+    activemq / kafka:
+        Broker profiles (per-message processing, delivery overhead,
+        persistence).
+    broker_dispatchers:
+        Number of parallel dispatcher threads of the broker.
+    recovery_replay_cost_per_message:
+        Time to re-fetch and re-apply one logged message during an agent
+        recovery (Kafka consumer catch-up).
+    """
+
+    agent_boot_time: float = 0.05
+    handling_base: float = 0.120
+    reduction_unit_cost: float = 0.00010
+    invocation_overhead: float = 1.0
+    status_update_enabled: bool = True
+    status_update_size: int = 256
+    result_message_size: int = 1024
+    activemq: BrokerProfile = field(default_factory=lambda: ACTIVEMQ_PROFILE)
+    kafka: BrokerProfile = field(default_factory=lambda: KAFKA_PROFILE)
+    broker_dispatchers: int = 1
+    recovery_replay_cost_per_message: float = 0.01
+
+    # ------------------------------------------------------------- helpers
+    def broker_profile(self, name: str) -> BrokerProfile:
+        """The profile for broker ``name`` (``"activemq"`` / ``"kafka"``)."""
+        lowered = name.lower()
+        if lowered == "activemq":
+            return self.activemq
+        if lowered == "kafka":
+            return self.kafka
+        raise ValueError(f"unknown broker {name!r}")
+
+    def handling_cost(self, reduction_units: float) -> float:
+        """Virtual time consumed by one agent handling step."""
+        return self.handling_base + self.reduction_unit_cost * max(0.0, reduction_units)
+
+    def replay_cost(self, message_count: int) -> float:
+        """Virtual time for a recovering agent to replay its message log."""
+        return self.recovery_replay_cost_per_message * max(0, message_count)
+
+    def with_overrides(self, **overrides: Any) -> "CostModel":
+        """A copy of the model with some attributes replaced."""
+        return replace(self, **overrides)

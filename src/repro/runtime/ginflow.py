@@ -1,0 +1,116 @@
+"""The GinFlow facade — the library's main entry point.
+
+>>> from repro import GinFlow, diamond_workflow
+>>> report = GinFlow().run(diamond_workflow(width=3, depth=2))
+>>> report.succeeded
+True
+
+A :class:`GinFlow` instance holds a base configuration
+(:class:`~repro.runtime.config.GinFlowConfig`); :meth:`run` accepts per-call
+overrides (``executor="mesos"``, ``broker="kafka"``, ``mode="threaded"``...)
+and dispatches to one of the three runtimes:
+
+* ``simulated`` — virtual-time distributed execution over the simulated
+  cluster (the default; this is what the benchmarks use);
+* ``threaded`` — real threads and in-process brokers on the local machine;
+* ``centralized`` — single HOCL interpreter, synchronous service calls.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.executors import CentralizedExecutor
+from repro.services import ServiceRegistry
+from repro.workflow.dag import Workflow
+from repro.workflow.json_format import workflow_from_json
+
+from .config import GinFlowConfig
+from .results import RunReport, TaskOutcome
+from .simulation import SimulatedRun
+from .threaded import ThreadedRun
+
+__all__ = ["GinFlow"]
+
+
+class GinFlow:
+    """Decentralised adaptive workflow execution manager (paper's Section IV)."""
+
+    def __init__(self, config: GinFlowConfig | None = None, registry: ServiceRegistry | None = None):
+        self.config = config or GinFlowConfig()
+        if registry is not None:
+            self.config = self.config.with_overrides(registry=registry)
+
+    # ------------------------------------------------------------- services
+    @property
+    def registry(self) -> ServiceRegistry:
+        """The service registry used to resolve task services."""
+        if self.config.registry is None:
+            self.config = self.config.with_overrides(registry=ServiceRegistry())
+        return self.config.registry  # type: ignore[return-value]
+
+    def register_service(self, name: str, function, idempotent: bool = True) -> None:
+        """Register a Python callable as the service ``name``."""
+        self.registry.register_function(name, function, idempotent=idempotent)
+
+    # ------------------------------------------------------------------ run
+    def run(self, workflow: Workflow | str | dict, timeout: float = 120.0, **overrides: Any) -> RunReport:
+        """Execute ``workflow`` (a :class:`Workflow`, JSON string/dict or path).
+
+        ``overrides`` are applied on top of the instance configuration for
+        this run only (e.g. ``broker="kafka"``, ``nodes=10``,
+        ``mode="centralized"``).  ``timeout`` only applies to the threaded
+        runtime (wall-clock bound).
+        """
+        if not isinstance(workflow, Workflow):
+            workflow = workflow_from_json(workflow)
+        config = self.config.with_overrides(**overrides) if overrides else self.config
+        workflow.validate()
+        if config.mode == "simulated":
+            return SimulatedRun(workflow, config).run()
+        if config.mode == "threaded":
+            return ThreadedRun(workflow, config).run(timeout=timeout)
+        return self._run_centralized(workflow, config)
+
+    # ------------------------------------------------------------ internals
+    def _run_centralized(self, workflow: Workflow, config: GinFlowConfig) -> RunReport:
+        executor = CentralizedExecutor(registry=config.build_registry())
+        outcome = executor.execute(workflow)
+        exit_tasks = set(workflow.exit_tasks())
+        report = RunReport(
+            mode="centralized",
+            executor="centralized",
+            broker="none",
+            nodes=1,
+            seed=config.seed,
+            deployment_time=0.0,
+            execution_time=0.0,
+            makespan=0.0,
+            reduction_reactions=outcome.report.reactions,
+            reduction_match_attempts=outcome.report.match_attempts,
+        )
+        all_names = set(workflow.task_names())
+        for spec in workflow.adaptations:
+            all_names.update(spec.replacement.task_names())
+        for name in all_names:
+            result = outcome.results.get(name)
+            error = name in outcome.errors
+            report.tasks[name] = TaskOutcome(
+                task=name,
+                state="failed" if error else ("completed" if result is not None else "idle"),
+                result=result,
+                error=error,
+                node="localhost",
+            )
+            if name in exit_tasks and result is not None:
+                report.results[name] = result
+        report.succeeded = all(
+            report.tasks[name].result is not None for name in exit_tasks
+        )
+        report.adaptations_triggered = sum(
+            1 for spec in workflow.adaptations
+            if any(report.tasks.get(t) is not None and report.tasks[t].result is not None
+                   for t in spec.replacement.task_names())
+        )
+        report.extra["invocations"] = outcome.invocations
+        return report

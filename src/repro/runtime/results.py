@@ -1,0 +1,149 @@
+"""Run reports: what a GinFlow execution returns.
+
+A :class:`RunReport` aggregates everything the experiments need: whether the
+workflow completed, how long deployment and execution took, per-task results
+and states, message / failure / adaptation counters, and (optionally) the
+full event timeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.agents.coordinator import TimelineEvent
+
+__all__ = ["TaskOutcome", "RunReport"]
+
+
+@dataclass
+class TaskOutcome:
+    """Final state of one task after the run."""
+
+    task: str
+    state: str
+    result: Any = None
+    error: bool = False
+    node: str | None = None
+    started_at: float | None = None
+    finished_at: float | None = None
+    attempts: int = 0
+    failures: int = 0
+
+
+@dataclass
+class RunReport:
+    """Outcome of one GinFlow run (any execution mode).
+
+    Attributes
+    ----------
+    succeeded:
+        ``True`` when every exit task produced a (non-error) result.
+    mode / executor / broker / nodes / seed:
+        Echo of the configuration actually used.
+    deployment_time:
+        Time spent provisioning the service agents (0 for centralised and
+        threaded runs).
+    execution_time:
+        Time between the start of the enactment (all agents ready) and the
+        completion of the last exit task.
+    makespan:
+        ``deployment_time + execution_time``.
+    tasks:
+        Per-task outcomes.
+    results:
+        Exit-task results (what the workflow "returns").
+    messages_published / messages_delivered:
+        Broker counters.
+    failures_injected / recoveries:
+        Failure-injection counters (Fig. 16).
+    adaptations_triggered:
+        Number of adaptation plans that actually fired.
+    duplicate_results_ignored:
+        Duplicates discarded by destination agents (recovery replays).
+    reduction_reactions / reduction_match_attempts:
+        Aggregate chemistry counters across all agents.
+    timeline:
+        Chronological event list (state changes, failures, recoveries).
+    extra:
+        Free-form additional measurements filled by the harnesses.
+    """
+
+    succeeded: bool = False
+    mode: str = "simulated"
+    executor: str = "ssh"
+    broker: str = "activemq"
+    nodes: int = 0
+    seed: int = 0
+    deployment_time: float = 0.0
+    execution_time: float = 0.0
+    makespan: float = 0.0
+    tasks: dict[str, TaskOutcome] = field(default_factory=dict)
+    results: dict[str, Any] = field(default_factory=dict)
+    messages_published: int = 0
+    messages_delivered: int = 0
+    failures_injected: int = 0
+    recoveries: int = 0
+    adaptations_triggered: int = 0
+    duplicate_results_ignored: int = 0
+    reduction_reactions: int = 0
+    reduction_match_attempts: int = 0
+    timeline: list[TimelineEvent] = field(default_factory=list)
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- queries
+    def task_outcome(self, name: str) -> TaskOutcome:
+        """Outcome of task ``name`` (raises ``KeyError`` if unknown)."""
+        return self.tasks[name]
+
+    def result_of(self, name: str) -> Any:
+        """Result value of task ``name`` (``None`` if it produced none)."""
+        outcome = self.tasks.get(name)
+        return outcome.result if outcome else None
+
+    def failed_tasks(self) -> list[str]:
+        """Tasks whose final state reports an error."""
+        return [name for name, outcome in self.tasks.items() if outcome.error]
+
+    def completed_tasks(self) -> list[str]:
+        """Tasks holding a (non-error) result at the end of the run."""
+        return [name for name, outcome in self.tasks.items() if outcome.result is not None]
+
+    def summary(self) -> dict[str, Any]:
+        """A flat dictionary convenient for tabular reporting."""
+        return {
+            "succeeded": self.succeeded,
+            "mode": self.mode,
+            "executor": self.executor,
+            "broker": self.broker,
+            "nodes": self.nodes,
+            "seed": self.seed,
+            "deployment_time": round(self.deployment_time, 3),
+            "execution_time": round(self.execution_time, 3),
+            "makespan": round(self.makespan, 3),
+            "tasks": len(self.tasks),
+            "completed_tasks": len(self.completed_tasks()),
+            "messages_published": self.messages_published,
+            "failures_injected": self.failures_injected,
+            "recoveries": self.recoveries,
+            "adaptations_triggered": self.adaptations_triggered,
+        }
+
+    def format_summary(self) -> str:
+        """Human-readable multi-line summary (used by the CLI)."""
+        lines = [f"GinFlow run ({self.mode}, executor={self.executor}, broker={self.broker})"]
+        lines.append(f"  succeeded          : {self.succeeded}")
+        lines.append(f"  deployment time    : {self.deployment_time:.3f} s")
+        lines.append(f"  execution time     : {self.execution_time:.3f} s")
+        lines.append(f"  makespan           : {self.makespan:.3f} s")
+        lines.append(f"  tasks              : {len(self.completed_tasks())}/{len(self.tasks)} completed")
+        lines.append(f"  messages published : {self.messages_published}")
+        if self.failures_injected or self.recoveries:
+            lines.append(f"  failures/recoveries: {self.failures_injected}/{self.recoveries}")
+        if self.adaptations_triggered:
+            lines.append(f"  adaptations        : {self.adaptations_triggered}")
+        if self.results:
+            lines.append("  exit results       :")
+            for task, value in sorted(self.results.items()):
+                lines.append(f"    {task}: {value!r}")
+        return "\n".join(lines)

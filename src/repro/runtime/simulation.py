@@ -1,0 +1,341 @@
+"""The simulated distributed runtime.
+
+This is the virtual-time counterpart of a GinFlow deployment: every service
+agent runs the *real* decentralised chemistry
+(:class:`~repro.agents.core.AgentCore`), messages travel through a
+:class:`~repro.messaging.simulated.SimulatedBroker`, agents are provisioned
+by an :class:`~repro.executors.ssh.SSHExecutor` or
+:class:`~repro.executors.mesos.MesosExecutor` over a simulated cluster, and
+failures are injected according to the paper's model (Section V-D).  Only the
+*durations* of platform operations are modelled, through the
+:class:`~repro.runtime.costs.CostModel`.
+
+The flow of one run:
+
+1. the workflow is encoded (:func:`repro.hoclflow.encode_workflow`);
+2. the executor produces a deployment plan on the cluster;
+3. once deployment completes, every agent boots and the enactment proceeds
+   purely by message exchanges until the exit tasks hold results (or the
+   event queue drains);
+4. a :class:`~repro.runtime.results.RunReport` is assembled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.agents import (
+    AgentCore,
+    Coordinator,
+    SendAdapt,
+    SendResult,
+    StartInvocation,
+    StatusUpdate,
+)
+from repro.agents.recovery import rebuild_agent
+from repro.hoclflow.translator import TaskEncoding, WorkflowEncoding, encode_workflow
+from repro.messaging import Message, MessageKind, SimulatedBroker, STATUS_TOPIC, agent_topic
+from repro.services import InvocationContext, InvocationResult
+from repro.simkernel import RandomStreams, SerialQueue, Simulator
+from repro.workflow.dag import Workflow
+
+from .config import GinFlowConfig
+from .results import RunReport, TaskOutcome
+
+__all__ = ["SimulatedRun", "run_simulation"]
+
+
+@dataclass
+class _SimAgent:
+    """Book-keeping wrapper around one simulated service agent."""
+
+    encoding: TaskEncoding
+    core: AgentCore
+    node: str = "unknown"
+    serial: SerialQueue | None = None
+    alive: bool = True
+    incarnation: int = 0
+    attempt: int = 0
+    failures: int = 0
+    started_at: float | None = None
+    finished_at: float | None = None
+    invocation_started_at: float | None = None
+
+    @property
+    def name(self) -> str:
+        return self.encoding.name
+
+
+class SimulatedRun:
+    """One simulated distributed execution of a workflow."""
+
+    def __init__(self, workflow: Workflow, config: GinFlowConfig | None = None):
+        self.workflow = workflow
+        self.config = config or GinFlowConfig()
+        self.encoding: WorkflowEncoding | None = None
+        self.report = RunReport()
+        self._sim = Simulator()
+        self._randomness = RandomStreams(self.config.seed)
+        self._agents: dict[str, _SimAgent] = {}
+        self._coordinator: Coordinator | None = None
+        self._broker: SimulatedBroker | None = None
+        self._registry = self.config.build_registry()
+        self._triggered_adaptations: set[str] = set()
+        self._enactment_start = 0.0
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> RunReport:
+        """Execute the workflow and return its report."""
+        config = self.config
+        costs = config.costs
+        encoding = encode_workflow(self.workflow)
+        self.encoding = encoding
+
+        cluster = config.build_cluster()
+        network = config.build_network()
+        profile = config.broker_profile()
+        self._broker = SimulatedBroker(
+            self._sim,
+            profile,
+            network=network,
+            randomness=self._randomness.spawn("broker"),
+            dispatchers=costs.broker_dispatchers,
+        )
+        self._coordinator = Coordinator(exit_tasks=encoding.exit_tasks())
+
+        executor = config.build_executor()
+        agent_names = encoding.task_names()
+        plan = executor.plan(cluster, agent_names)
+
+        for name in agent_names:
+            agent = _SimAgent(
+                encoding=encoding.tasks[name],
+                core=AgentCore(encoding.tasks[name]),
+                node=plan.placement.get(name, "unknown"),
+                serial=SerialQueue(self._sim, name=f"agent-{name}"),
+            )
+            self._agents[name] = agent
+            self._broker.subscribe(agent_topic(name), self._make_message_handler(agent))
+        self._broker.subscribe(STATUS_TOPIC, self._on_status_message)
+
+        # Enactment starts once deployment completes (the stacked bars of
+        # Fig. 14 split deployment time from execution time).
+        self._enactment_start = plan.deployment_time
+        for name in agent_names:
+            agent = self._agents[name]
+            self._sim.call_at(
+                plan.deployment_time + costs.agent_boot_time,
+                self._make_boot_callback(agent),
+            )
+
+        self._sim.run(until=config.max_virtual_time)
+
+        return self._build_report(plan.deployment_time)
+
+    # ------------------------------------------------------------ callbacks
+    def _make_boot_callback(self, agent: _SimAgent):
+        def boot() -> None:
+            agent.started_at = self._sim.now
+            self._handle(agent, agent.core.boot)
+
+        return boot
+
+    def _make_message_handler(self, agent: _SimAgent):
+        def on_message(message: Message) -> None:
+            if not agent.alive:
+                # The agent is down: a persistent broker keeps the message in
+                # its log, so the recovery replay will deliver it; with a
+                # transient broker the message is lost.
+                return
+            if message.kind == MessageKind.RESULT:
+                self._handle(agent, lambda: agent.core.receive_result(message.sender, message.payload))
+            elif message.kind == MessageKind.ADAPT:
+                count = int(message.payload) if message.payload else 1
+                self._handle(agent, lambda: agent.core.receive_adapt(count))
+
+        return on_message
+
+    def _on_status_message(self, message: Message) -> None:
+        if self._coordinator is not None and isinstance(message.payload, dict):
+            self._coordinator.record_status(message.sender, message.payload, time=self._sim.now)
+
+    # ------------------------------------------------------------- handling
+    def _handle(self, agent: _SimAgent, stimulus, extra_cost: float = 0.0) -> None:
+        """Run one agent stimulus and dispatch its actions after the modelled cost."""
+        if not agent.alive:
+            return
+        units_before = agent.core.reduction_units
+        actions = stimulus()
+        units = agent.core.reduction_units - units_before
+        cost = self.config.costs.handling_cost(units) + extra_cost
+        incarnation = agent.incarnation
+        done = agent.serial.submit(cost)
+        done.add_callback(lambda _event: self._dispatch(agent, actions, incarnation))
+
+    def _dispatch(self, agent: _SimAgent, actions, incarnation: int) -> None:
+        if not agent.alive or agent.incarnation != incarnation:
+            return
+        costs = self.config.costs
+        for action in actions:
+            if isinstance(action, SendResult):
+                self._publish(
+                    Message(
+                        topic=agent_topic(action.destination),
+                        kind=MessageKind.RESULT,
+                        sender=agent.name,
+                        recipient=action.destination,
+                        payload=action.value,
+                        size_bytes=costs.result_message_size,
+                    )
+                )
+            elif isinstance(action, SendAdapt):
+                if action.adaptation:
+                    self._triggered_adaptations.add(action.adaptation)
+                self._publish(
+                    Message(
+                        topic=agent_topic(action.destination),
+                        kind=MessageKind.ADAPT,
+                        sender=agent.name,
+                        recipient=action.destination,
+                        payload=action.count,
+                        size_bytes=costs.status_update_size,
+                    )
+                )
+            elif isinstance(action, StartInvocation):
+                self._start_invocation(agent, action)
+            elif isinstance(action, StatusUpdate):
+                if costs.status_update_enabled:
+                    self._publish(
+                        Message(
+                            topic=STATUS_TOPIC,
+                            kind=MessageKind.STATUS,
+                            sender=agent.name,
+                            recipient="coordinator",
+                            payload=agent.core.status(),
+                            size_bytes=costs.status_update_size,
+                        )
+                    )
+                else:
+                    # keep completion detection working without broker load
+                    if self._coordinator is not None:
+                        self._coordinator.record_status(agent.name, agent.core.status(), time=self._sim.now)
+
+    def _publish(self, message: Message) -> None:
+        assert self._broker is not None
+        self._broker.publish(message)
+
+    # ----------------------------------------------------------- invocation
+    def _start_invocation(self, agent: _SimAgent, action: StartInvocation) -> None:
+        agent.attempt += 1
+        agent.invocation_started_at = self._sim.now
+        service = self._registry.resolve(action.service)
+        context = InvocationContext(
+            task_name=agent.name,
+            duration=agent.encoding.duration,
+            metadata=agent.encoding.metadata,
+            attempt=agent.attempt,
+        )
+        outcome = service.invoke(list(action.parameters), context)
+        duration = max(0.0, outcome.duration) + self.config.costs.invocation_overhead
+        incarnation = agent.incarnation
+
+        crash_after = self.config.failures.crash_time(
+            duration, self._randomness, label=f"crash:{agent.name}:{agent.attempt}"
+        )
+        if crash_after is not None and crash_after < duration:
+            self._sim.call_in(crash_after, lambda: self._crash(agent, incarnation))
+        else:
+            self._sim.call_in(duration, lambda: self._complete_invocation(agent, incarnation, outcome))
+
+    def _complete_invocation(self, agent: _SimAgent, incarnation: int, outcome: InvocationResult) -> None:
+        if not agent.alive or agent.incarnation != incarnation:
+            return
+        agent.finished_at = self._sim.now
+        if outcome.failed:
+            self._handle(agent, lambda: agent.core.invocation_failed(outcome.error))
+        else:
+            self._handle(agent, lambda: agent.core.invocation_succeeded(outcome.value))
+
+    # -------------------------------------------------------------- failures
+    def _crash(self, agent: _SimAgent, incarnation: int) -> None:
+        if not agent.alive or agent.incarnation != incarnation:
+            return
+        agent.alive = False
+        agent.incarnation += 1
+        agent.failures += 1
+        self.report.failures_injected += 1
+        if self._coordinator is not None:
+            self._coordinator.record_event(self._sim.now, agent.name, "failure", f"attempt {agent.attempt}")
+        self._sim.call_in(self.config.failures.recovery_overhead(), lambda: self._recover(agent))
+
+    def _recover(self, agent: _SimAgent) -> None:
+        assert self._broker is not None
+        self.report.recoveries += 1
+        logged = self._broker.replay(agent_topic(agent.name)) if self._broker.supports_replay else []
+        core, actions = rebuild_agent(agent.encoding, logged)
+        agent.core = core
+        agent.alive = True
+        costs = self.config.costs
+        replay_cost = costs.agent_boot_time + costs.replay_cost(len(logged))
+        incarnation = agent.incarnation
+        done = agent.serial.submit(replay_cost + costs.handling_cost(core.reduction_units))
+        done.add_callback(lambda _event: self._dispatch(agent, actions, incarnation))
+        if self._coordinator is not None:
+            self._coordinator.record_event(self._sim.now, agent.name, "recovery", f"replayed {len(logged)} messages")
+
+    # --------------------------------------------------------------- report
+    def _build_report(self, deployment_time: float) -> RunReport:
+        assert self._coordinator is not None and self._broker is not None
+        report = self.report
+        config = self.config
+        coordinator = self._coordinator
+
+        report.mode = "simulated"
+        report.executor = config.executor
+        report.broker = config.broker
+        report.nodes = len(config.build_cluster()) if config.cluster is None else len(config.cluster)
+        report.seed = config.seed
+        report.deployment_time = deployment_time
+        completion = coordinator.completion_time
+        if completion is not None:
+            report.execution_time = max(0.0, completion - self._enactment_start)
+            report.makespan = completion
+        else:
+            report.execution_time = max(0.0, self._sim.now - self._enactment_start)
+            report.makespan = self._sim.now
+        report.succeeded = coordinator.completed
+        report.messages_published = self._broker.published_count()
+        report.messages_delivered = self._broker.delivered_count()
+        report.adaptations_triggered = len(self._triggered_adaptations)
+
+        exit_tasks = set(self.encoding.exit_tasks()) if self.encoding else set()
+        for name, agent in self._agents.items():
+            core = agent.core
+            outcome = TaskOutcome(
+                task=name,
+                state=core.state,
+                result=core.result_value(),
+                error=core.has_error(),
+                node=agent.node,
+                started_at=agent.started_at,
+                finished_at=agent.finished_at,
+                attempts=agent.attempt,
+                failures=agent.failures,
+            )
+            report.tasks[name] = outcome
+            report.duplicate_results_ignored += core.duplicates_ignored
+            report.reduction_reactions += core.reactions
+            report.reduction_match_attempts += core.match_attempts
+            if name in exit_tasks and outcome.result is not None:
+                report.results[name] = outcome.result
+        if config.collect_timeline:
+            report.timeline = list(coordinator.timeline)
+        report.extra["status_updates"] = coordinator.status_updates
+        report.extra["virtual_events"] = self._sim.processed_events
+        return report
+
+
+def run_simulation(workflow: Workflow, config: GinFlowConfig | None = None) -> RunReport:
+    """Convenience wrapper: simulate ``workflow`` under ``config``."""
+    return SimulatedRun(workflow, config).run()

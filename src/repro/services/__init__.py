@@ -1,0 +1,24 @@
+"""Service abstraction, invocation and failure injection."""
+
+from .faults import NO_FAILURES, FailureModel
+from .service import (
+    InvocationContext,
+    InvocationResult,
+    PythonService,
+    Service,
+    ServiceFailure,
+    ServiceRegistry,
+    SyntheticService,
+)
+
+__all__ = [
+    "Service",
+    "PythonService",
+    "SyntheticService",
+    "ServiceRegistry",
+    "ServiceFailure",
+    "InvocationContext",
+    "InvocationResult",
+    "FailureModel",
+    "NO_FAILURES",
+]

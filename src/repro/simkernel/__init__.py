@@ -1,0 +1,20 @@
+"""A deterministic discrete-event simulation kernel (virtual time)."""
+
+from .events import AllOf, AnyOf, Event, Interrupt, Process, Timeout
+from .randomness import RandomStreams
+from .resources import Resource, SerialQueue, Store
+from .sim import Simulator
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Store",
+    "Resource",
+    "SerialQueue",
+    "RandomStreams",
+]

@@ -1,0 +1,214 @@
+"""Events and processes of the discrete-event simulation kernel.
+
+The kernel is a small, dependency-free engine in the style of SimPy:
+
+* an :class:`Event` is a one-shot occurrence that callbacks can attach to and
+  that processes can wait on;
+* a :class:`Timeout` is an event scheduled to trigger after a virtual delay;
+* a :class:`Process` wraps a Python generator; every value the generator
+  yields must be an event, and the process resumes when that event triggers.
+
+The :class:`~repro.simkernel.sim.Simulator` owns the event queue and the
+virtual clock.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Iterable, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .sim import Simulator
+
+__all__ = ["Event", "Timeout", "Process", "AllOf", "AnyOf", "Interrupt"]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator when it is interrupted (e.g. the agent
+    hosting it crashed)."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in virtual time.
+
+    An event starts *pending*; :meth:`succeed` (or :meth:`fail`) triggers it,
+    runs its callbacks, and stores its value.  Triggering twice is an error —
+    this catches double-completion bugs in agent code early.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_triggered", "_ok")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[[Event], None]] = []
+        self._value: Any = None
+        self._triggered = False
+        self._ok = True
+
+    # ------------------------------------------------------------ properties
+    @property
+    def triggered(self) -> bool:
+        """Whether the event already occurred."""
+        return self._triggered
+
+    @property
+    def ok(self) -> bool:
+        """Whether the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event was triggered with."""
+        return self._value
+
+    # -------------------------------------------------------------- triggers
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._schedule_triggered(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiting processes receive the exception."""
+        if self._triggered:
+            raise RuntimeError("event already triggered")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._schedule_triggered(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event triggers (immediately if it already has)."""
+        if self._triggered:
+            callback(self)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that triggers after ``delay`` units of virtual time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        sim._schedule_at(sim.now + delay, self, value)
+
+
+class AllOf(Event):
+    """An event that succeeds once every event of ``events`` has triggered."""
+
+    __slots__ = ("_pending",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        events = list(events)
+        self._pending = len(events)
+        if self._pending == 0:
+            self.succeed([])
+            return
+        results: list[Any] = [None] * len(events)
+
+        def on_done(index: int) -> Callable[[Event], None]:
+            def callback(event: Event) -> None:
+                results[index] = event.value
+                self._pending -= 1
+                if self._pending == 0 and not self.triggered:
+                    self.succeed(results)
+
+            return callback
+
+        for index, event in enumerate(events):
+            event.add_callback(on_done(index))
+
+
+class AnyOf(Event):
+    """An event that succeeds as soon as one of ``events`` triggers."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+
+        def callback(event: Event) -> None:
+            if not self.triggered:
+                self.succeed(event.value)
+
+        for event in events:
+            event.add_callback(callback)
+
+
+class Process(Event):
+    """A generator-driven simulation process.
+
+    The wrapped generator yields :class:`Event` instances; the process
+    resumes when the yielded event triggers (receiving the event's value, or
+    the exception for failed events).  The process itself is an event that
+    triggers with the generator's return value, so processes can wait on one
+    another.
+    """
+
+    __slots__ = ("generator", "name", "_waiting_on", "_interrupted")
+
+    def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any], name: str = "process"):
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name
+        self._waiting_on: Event | None = None
+        self._interrupted = False
+        # start the process at the current simulation time
+        startup = Timeout(sim, 0.0)
+        startup.add_callback(lambda _event: self._resume(None, None))
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the process has not finished yet."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait point."""
+        if self.triggered or self._interrupted:
+            return
+        self._interrupted = True
+        self.sim._schedule_call(lambda: self._resume(None, Interrupt(cause)))
+
+    # ------------------------------------------------------------ internals
+    def _resume(self, value: Any, exception: BaseException | None) -> None:
+        if self.triggered:
+            return
+        self._waiting_on = None
+        try:
+            if exception is not None:
+                self._interrupted = False
+                target = self.generator.throw(exception)
+            else:
+                target = self.generator.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # the process chose not to handle its interruption: terminate it
+            self.succeed(None)
+            return
+        if not isinstance(target, Event):
+            raise TypeError(f"process {self.name!r} yielded {target!r}, expected an Event")
+        self._waiting_on = target
+
+        def callback(event: Event) -> None:
+            if event.ok:
+                self._resume(event.value, None)
+            else:
+                self._resume(None, event.value)
+
+        target.add_callback(callback)

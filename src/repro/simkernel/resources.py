@@ -1,0 +1,139 @@
+"""Shared resources for the simulation kernel: FIFO stores and capacity resources.
+
+Two primitives cover what the GinFlow simulation needs:
+
+* :class:`Store` — an unbounded FIFO of items with event-based ``get``;
+  message queues and agent inboxes are Stores.
+* :class:`Resource` — a counted resource (e.g. the cores of a node, a
+  broker's dispatcher threads); ``acquire`` returns an event that triggers
+  when a slot is available.
+* :class:`SerialQueue` — a convenience wrapper modelling a serially-processed
+  queue with a fixed per-item service time (how the brokers account for their
+  per-message processing cost).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from .events import Event
+from .sim import Simulator
+
+__all__ = ["Store", "Resource", "SerialQueue"]
+
+
+class Store:
+    """An unbounded FIFO with event-based retrieval."""
+
+    def __init__(self, sim: Simulator, name: str = "store"):
+        self.sim = sim
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._waiters: deque[Event] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        """Add ``item``; wakes the oldest waiting ``get`` if any."""
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(item)
+        else:
+            self._items.append(item)
+
+    def get(self) -> Event:
+        """An event that triggers with the next available item."""
+        event = self.sim.event()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._waiters.append(event)
+        return event
+
+    def try_get(self) -> Any | None:
+        """Pop an item immediately if one is available, else ``None``."""
+        if self._items:
+            return self._items.popleft()
+        return None
+
+    def items(self) -> list[Any]:
+        """Snapshot of the queued items (oldest first)."""
+        return list(self._items)
+
+
+class Resource:
+    """A counted resource with FIFO acquisition."""
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError("resource capacity must be >= 1")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[Event] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Number of currently held slots."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of free slots."""
+        return self.capacity - self._in_use
+
+    def acquire(self) -> Event:
+        """An event that triggers once a slot is held (value: this resource)."""
+        event = self.sim.event()
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed(self)
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        """Give back one slot; wakes the oldest waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError(f"resource {self.name!r}: release without acquire")
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            waiter.succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class SerialQueue:
+    """A serially-processed queue with a fixed per-item service time.
+
+    ``submit(work_time)`` returns the completion event of a job that must
+    wait for every previously submitted job; the queue therefore models the
+    head-of-line queueing of a single-threaded dispatcher (the behaviour that
+    makes large fully-connected workflows pay for every message they emit).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "serial-queue"):
+        self.sim = sim
+        self.name = name
+        self._next_free = 0.0
+        self.processed = 0
+        self.busy_time = 0.0
+
+    def submit(self, work_time: float) -> Event:
+        """Schedule one job of ``work_time`` seconds; returns its completion event."""
+        if work_time < 0:
+            raise ValueError("work_time must be >= 0")
+        start = max(self.sim.now, self._next_free)
+        finish = start + work_time
+        self._next_free = finish
+        self.processed += 1
+        self.busy_time += work_time
+        return self.sim.timeout(finish - self.sim.now)
+
+    @property
+    def backlog(self) -> float:
+        """Seconds of work already queued ahead of a job submitted now."""
+        return max(0.0, self._next_free - self.sim.now)

@@ -1,0 +1,53 @@
+"""User-facing workflow model: tasks, DAGs, adaptation specs and generators."""
+
+from .adaptive import AdaptationSpec
+from .dag import Task, Workflow
+from .errors import (
+    AdaptationValidationError,
+    JSONFormatError,
+    WorkflowError,
+    WorkflowValidationError,
+)
+from .json_format import workflow_from_dict, workflow_from_json, workflow_to_dict, workflow_to_json
+from .montage import (
+    MONTAGE_PARALLEL_WIDTH,
+    MONTAGE_TASK_COUNT,
+    duration_cdf,
+    duration_classes,
+    montage_workflow,
+)
+from .patterns import (
+    DEFAULT_SERVICE,
+    adaptive_diamond_workflow,
+    diamond_workflow,
+    merge_workflow,
+    parallel_workflow,
+    sequence_workflow,
+    split_workflow,
+)
+
+__all__ = [
+    "Task",
+    "Workflow",
+    "AdaptationSpec",
+    "WorkflowError",
+    "WorkflowValidationError",
+    "AdaptationValidationError",
+    "JSONFormatError",
+    "workflow_from_json",
+    "workflow_to_json",
+    "workflow_from_dict",
+    "workflow_to_dict",
+    "sequence_workflow",
+    "parallel_workflow",
+    "split_workflow",
+    "merge_workflow",
+    "diamond_workflow",
+    "adaptive_diamond_workflow",
+    "DEFAULT_SERVICE",
+    "montage_workflow",
+    "duration_classes",
+    "duration_cdf",
+    "MONTAGE_TASK_COUNT",
+    "MONTAGE_PARALLEL_WIDTH",
+]

@@ -1,0 +1,304 @@
+"""The user-facing workflow model: tasks and their dependency DAG.
+
+A :class:`Workflow` is the "abstract workflow" of the paper (Fig. 2): a set
+of named :class:`Task` objects plus data/control dependencies forming a
+directed acyclic graph.  Everything else — the HOCL encoding, the generic
+enactment rules, the adaptation rules — is derived from this object by
+:mod:`repro.hoclflow`.
+
+Tasks carry the name of the *service* that implements them, an optional list
+of initial inputs (the ``IN`` atom of the encoding), and free-form metadata.
+The most important metadata key is ``duration``, the nominal execution time
+of the service in seconds, used by the simulated services.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+import networkx as nx
+
+from .errors import WorkflowValidationError
+
+__all__ = ["Task", "Workflow"]
+
+
+@dataclass
+class Task:
+    """One node of the workflow DAG.
+
+    Attributes
+    ----------
+    name:
+        Unique task identifier (``T1``, ``mProject_17``...).
+    service:
+        Name of the service implementing the task, resolved against the
+        :class:`~repro.services.registry.ServiceRegistry` at run time.
+    inputs:
+        Initial input values placed in the task's ``IN`` atom before
+        execution (only entry tasks normally have any).
+    duration:
+        Nominal service execution time in seconds (used by simulated
+        services; ignored when the service is a real Python callable that
+        does its own work).
+    metadata:
+        Free-form extra information (workload class, level index, ...).
+    """
+
+    name: str
+    service: str
+    inputs: list[Any] = field(default_factory=list)
+    duration: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise WorkflowValidationError(f"task name must be a non-empty string, got {self.name!r}")
+        if not self.service or not isinstance(self.service, str):
+            raise WorkflowValidationError(
+                f"task {self.name!r}: service must be a non-empty string, got {self.service!r}"
+            )
+        if self.duration < 0:
+            raise WorkflowValidationError(f"task {self.name!r}: duration must be >= 0")
+
+    def copy(self) -> "Task":
+        """An independent copy of the task."""
+        return Task(
+            name=self.name,
+            service=self.service,
+            inputs=list(self.inputs),
+            duration=self.duration,
+            metadata=dict(self.metadata),
+        )
+
+
+class Workflow:
+    """A named DAG of tasks.
+
+    The class maintains the invariants the rest of the system relies on:
+    unique task names, dependencies referring to known tasks, and acyclicity
+    (checked on :meth:`validate`, which every consumer calls before use).
+
+    Adaptation specifications (see :mod:`repro.workflow.adaptive`) attach to
+    the workflow through :meth:`add_adaptation`.
+    """
+
+    def __init__(self, name: str = "workflow", tasks: Iterable[Task] = ()):  # noqa: B008
+        if not name:
+            raise WorkflowValidationError("workflow name must be non-empty")
+        self.name = name
+        self._tasks: dict[str, Task] = {}
+        self._successors: dict[str, list[str]] = {}
+        self._predecessors: dict[str, list[str]] = {}
+        self.adaptations: list[Any] = []  # list[AdaptationSpec]; untyped to avoid an import cycle
+        for task in tasks:
+            self.add_task(task)
+
+    # ------------------------------------------------------------- mutation
+    def add_task(self, task: Task | str, service: str | None = None, **kwargs: Any) -> Task:
+        """Add a task.
+
+        Accepts either a ready-made :class:`Task` or a name plus keyword
+        arguments forwarded to the :class:`Task` constructor::
+
+            workflow.add_task("T1", service="s1", inputs=["data"], duration=2.0)
+        """
+        if isinstance(task, str):
+            if service is None:
+                raise WorkflowValidationError(f"task {task!r}: a service name is required")
+            task = Task(name=task, service=service, **kwargs)
+        elif service is not None or kwargs:
+            raise WorkflowValidationError("pass either a Task object or name + keyword arguments, not both")
+        if task.name in self._tasks:
+            raise WorkflowValidationError(f"duplicate task name {task.name!r}")
+        self._tasks[task.name] = task
+        self._successors.setdefault(task.name, [])
+        self._predecessors.setdefault(task.name, [])
+        return task
+
+    def add_dependency(self, source: str, destination: str) -> None:
+        """Declare that ``destination`` consumes the output of ``source``."""
+        for endpoint in (source, destination):
+            if endpoint not in self._tasks:
+                raise WorkflowValidationError(f"dependency references unknown task {endpoint!r}")
+        if source == destination:
+            raise WorkflowValidationError(f"task {source!r} cannot depend on itself")
+        if destination in self._successors[source]:
+            return  # idempotent
+        self._successors[source].append(destination)
+        self._predecessors[destination].append(source)
+
+    def chain(self, *task_names: str) -> None:
+        """Add dependencies forming a chain ``task_names[0] -> ... -> [-1]``."""
+        for source, destination in zip(task_names, task_names[1:]):
+            self.add_dependency(source, destination)
+
+    def remove_task(self, name: str) -> None:
+        """Remove a task and every dependency touching it."""
+        if name not in self._tasks:
+            raise WorkflowValidationError(f"unknown task {name!r}")
+        del self._tasks[name]
+        self._successors.pop(name, None)
+        self._predecessors.pop(name, None)
+        for successors in self._successors.values():
+            if name in successors:
+                successors.remove(name)
+        for predecessors in self._predecessors.values():
+            if name in predecessors:
+                predecessors.remove(name)
+
+    def add_adaptation(self, spec: Any) -> None:
+        """Attach an adaptation specification (validated against this workflow)."""
+        spec.validate(self)
+        for existing in self.adaptations:
+            overlap = set(existing.replaced) & set(spec.replaced)
+            if overlap:
+                raise WorkflowValidationError(
+                    "adaptations must concern disjoint sets of tasks; "
+                    f"{spec.name!r} overlaps {existing.name!r} on {sorted(overlap)}"
+                )
+        self.adaptations.append(spec)
+
+    # -------------------------------------------------------------- queries
+    def __contains__(self, name: str) -> bool:
+        return name in self._tasks
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def __iter__(self) -> Iterator[Task]:
+        return iter(self._tasks.values())
+
+    @property
+    def tasks(self) -> Mapping[str, Task]:
+        """Mapping of task name to :class:`Task` (read-only view)."""
+        return dict(self._tasks)
+
+    def task(self, name: str) -> Task:
+        """The task named ``name`` (raises if unknown)."""
+        try:
+            return self._tasks[name]
+        except KeyError:
+            raise WorkflowValidationError(f"unknown task {name!r}") from None
+
+    def task_names(self) -> list[str]:
+        """Task names in insertion order."""
+        return list(self._tasks)
+
+    def successors(self, name: str) -> list[str]:
+        """Names of the tasks consuming the output of ``name``."""
+        self.task(name)
+        return list(self._successors.get(name, []))
+
+    def predecessors(self, name: str) -> list[str]:
+        """Names of the tasks whose output ``name`` consumes."""
+        self.task(name)
+        return list(self._predecessors.get(name, []))
+
+    def dependencies(self) -> list[tuple[str, str]]:
+        """Every dependency as a ``(source, destination)`` pair."""
+        return [
+            (source, destination)
+            for source, successors in self._successors.items()
+            for destination in successors
+        ]
+
+    def entry_tasks(self) -> list[str]:
+        """Tasks with no predecessor (the workflow's inputs)."""
+        return [name for name in self._tasks if not self._predecessors.get(name)]
+
+    def exit_tasks(self) -> list[str]:
+        """Tasks with no successor (the workflow's outputs)."""
+        return [name for name in self._tasks if not self._successors.get(name)]
+
+    def topological_order(self) -> list[str]:
+        """Task names in a valid execution order (raises on cycles)."""
+        graph = self.to_networkx()
+        try:
+            return list(nx.topological_sort(graph))
+        except nx.NetworkXUnfeasible as exc:
+            raise WorkflowValidationError(f"workflow {self.name!r} contains a cycle") from exc
+
+    def levels(self) -> list[list[str]]:
+        """Tasks grouped by longest-path depth (level 0 = entry tasks)."""
+        order = self.topological_order()
+        depth: dict[str, int] = {}
+        for name in order:
+            predecessors = self._predecessors.get(name, [])
+            depth[name] = 0 if not predecessors else 1 + max(depth[p] for p in predecessors)
+        grouped: dict[int, list[str]] = {}
+        for name, level in depth.items():
+            grouped.setdefault(level, []).append(name)
+        return [grouped[level] for level in sorted(grouped)]
+
+    def critical_path_length(self) -> float:
+        """Length (sum of task durations) of the longest path through the DAG."""
+        longest: dict[str, float] = {}
+        for name in self.topological_order():
+            predecessors = self._predecessors.get(name, [])
+            best = max((longest[p] for p in predecessors), default=0.0)
+            longest[name] = best + self._tasks[name].duration
+        return max(longest.values(), default=0.0)
+
+    def total_work(self) -> float:
+        """Sum of every task's duration (the sequential execution time)."""
+        return sum(task.duration for task in self._tasks.values())
+
+    def subgraph(self, names: Iterable[str]) -> "Workflow":
+        """A new workflow containing only ``names`` and the dependencies among them."""
+        selected = set(names)
+        for name in selected:
+            self.task(name)
+        result = Workflow(name=f"{self.name}:subgraph")
+        for name in self._tasks:
+            if name in selected:
+                result.add_task(self._tasks[name].copy())
+        for source, destination in self.dependencies():
+            if source in selected and destination in selected:
+                result.add_dependency(source, destination)
+        return result
+
+    def to_networkx(self) -> "nx.DiGraph":
+        """The dependency graph as a :class:`networkx.DiGraph` (task names as nodes)."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._tasks)
+        graph.add_edges_from(self.dependencies())
+        return graph
+
+    # ----------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Check the structural invariants; raise ``WorkflowValidationError`` otherwise."""
+        if not self._tasks:
+            raise WorkflowValidationError(f"workflow {self.name!r} has no task")
+        graph = self.to_networkx()
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise WorkflowValidationError(f"workflow {self.name!r} contains a cycle: {cycle}")
+        for spec in self.adaptations:
+            spec.validate(self)
+
+    def is_valid(self) -> bool:
+        """Whether :meth:`validate` passes."""
+        try:
+            self.validate()
+            return True
+        except WorkflowValidationError:
+            return False
+
+    # -------------------------------------------------------------- utility
+    def copy(self) -> "Workflow":
+        """Deep copy of the workflow, including adaptations."""
+        clone = Workflow(name=self.name)
+        for task in self._tasks.values():
+            clone.add_task(task.copy())
+        for source, destination in self.dependencies():
+            clone.add_dependency(source, destination)
+        clone.adaptations = [spec.copy() for spec in self.adaptations]
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Workflow({self.name!r}, {len(self._tasks)} tasks, "
+            f"{len(self.dependencies())} dependencies, {len(self.adaptations)} adaptations)"
+        )

@@ -1,0 +1,23 @@
+"""Exceptions raised by the workflow model."""
+
+from __future__ import annotations
+
+
+class WorkflowError(Exception):
+    """Base class for workflow-definition errors."""
+
+
+class WorkflowValidationError(WorkflowError):
+    """Raised when a workflow DAG is structurally invalid (cycle, duplicate
+    task name, dependency on an unknown task, ...)."""
+
+
+class AdaptationValidationError(WorkflowError):
+    """Raised when an adaptation specification violates the replacement
+    hypothesis of the paper (Fig. 9): the replaced region must be connected,
+    the replaced region and its replacement must share one single common
+    destination, and multiple adaptations must concern disjoint task sets."""
+
+
+class JSONFormatError(WorkflowError):
+    """Raised when a JSON workflow document cannot be interpreted."""

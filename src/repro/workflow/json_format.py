@@ -1,0 +1,151 @@
+"""JSON workflow format.
+
+Section IV-D: "the workflow is given in a JSON format which will be
+translated into an HOCL workflow prior to execution".  This module defines
+that user-facing format and its (de)serialisation.  The schema is:
+
+.. code-block:: json
+
+    {
+      "name": "my-workflow",
+      "tasks": [
+        {"name": "T1", "service": "s1", "inputs": ["input"], "duration": 1.0,
+         "depends_on": [], "metadata": {}},
+        {"name": "T2", "service": "s2", "depends_on": ["T1"]}
+      ],
+      "adaptations": [
+        {"name": "replace-T2",
+         "replaced": ["T2"],
+         "trigger_on": ["T2"],
+         "entry_sources": {"T2p": ["T1"]},
+         "replacement": {"name": "alt", "tasks": [
+             {"name": "T2p", "service": "s2-alt", "depends_on": []}]}}
+      ]
+    }
+
+``workflow_from_json`` accepts a JSON string, a parsed dictionary or a file
+path; ``workflow_to_json`` is its inverse (round-trip safe).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping
+
+from .adaptive import AdaptationSpec
+from .dag import Task, Workflow
+from .errors import JSONFormatError
+
+__all__ = ["workflow_from_json", "workflow_to_json", "workflow_to_dict", "workflow_from_dict"]
+
+
+def workflow_to_dict(workflow: Workflow) -> dict[str, Any]:
+    """Serialise a workflow (and its adaptations) into a JSON-compatible dict."""
+    document: dict[str, Any] = {
+        "name": workflow.name,
+        "tasks": [
+            {
+                "name": task.name,
+                "service": task.service,
+                "inputs": list(task.inputs),
+                "duration": task.duration,
+                "depends_on": workflow.predecessors(task.name),
+                "metadata": dict(task.metadata),
+            }
+            for task in workflow
+        ],
+    }
+    if workflow.adaptations:
+        document["adaptations"] = [
+            {
+                "name": spec.name,
+                "replaced": list(spec.replaced),
+                "trigger_on": spec.trigger_tasks(),
+                "entry_sources": {key: list(value) for key, value in spec.entry_sources.items()},
+                "clear_destination_inputs": spec.clear_destination_inputs,
+                "replacement": workflow_to_dict(spec.replacement),
+            }
+            for spec in workflow.adaptations
+        ]
+    return document
+
+
+def workflow_to_json(workflow: Workflow, path: str | Path | None = None, indent: int = 2) -> str:
+    """Serialise a workflow to a JSON string, optionally writing it to ``path``."""
+    text = json.dumps(workflow_to_dict(workflow), indent=indent)
+    if path is not None:
+        Path(path).write_text(text + "\n", encoding="utf-8")
+    return text
+
+
+def _require(mapping: Mapping[str, Any], key: str, context: str) -> Any:
+    if key not in mapping:
+        raise JSONFormatError(f"{context}: missing required key {key!r}")
+    return mapping[key]
+
+
+def workflow_from_dict(document: Mapping[str, Any]) -> Workflow:
+    """Build a workflow from a parsed JSON document."""
+    if not isinstance(document, Mapping):
+        raise JSONFormatError(f"workflow document must be an object, got {type(document).__name__}")
+    name = document.get("name", "workflow")
+    tasks = _require(document, "tasks", f"workflow {name!r}")
+    if not isinstance(tasks, list) or not tasks:
+        raise JSONFormatError(f"workflow {name!r}: 'tasks' must be a non-empty list")
+
+    workflow = Workflow(name=name)
+    dependencies: list[tuple[str, str]] = []
+    for entry in tasks:
+        if not isinstance(entry, Mapping):
+            raise JSONFormatError(f"workflow {name!r}: each task must be an object")
+        task_name = _require(entry, "name", f"workflow {name!r} task")
+        service = _require(entry, "service", f"task {task_name!r}")
+        task = Task(
+            name=task_name,
+            service=service,
+            inputs=list(entry.get("inputs", [])),
+            duration=float(entry.get("duration", 0.0)),
+            metadata=dict(entry.get("metadata", {})),
+        )
+        workflow.add_task(task)
+        for source in entry.get("depends_on", []):
+            dependencies.append((source, task_name))
+    for source, destination in dependencies:
+        workflow.add_dependency(source, destination)
+
+    for adaptation in document.get("adaptations", []):
+        spec_name = _require(adaptation, "name", "adaptation")
+        replacement_doc = _require(adaptation, "replacement", f"adaptation {spec_name!r}")
+        spec = AdaptationSpec(
+            name=spec_name,
+            replaced=list(_require(adaptation, "replaced", f"adaptation {spec_name!r}")),
+            replacement=workflow_from_dict(replacement_doc),
+            entry_sources={
+                key: list(value) for key, value in adaptation.get("entry_sources", {}).items()
+            },
+            trigger_on=list(adaptation["trigger_on"]) if adaptation.get("trigger_on") else None,
+            clear_destination_inputs=bool(adaptation.get("clear_destination_inputs", False)),
+        )
+        workflow.add_adaptation(spec)
+
+    workflow.validate()
+    return workflow
+
+
+def workflow_from_json(source: str | Path | Mapping[str, Any]) -> Workflow:
+    """Build a workflow from a JSON string, a file path or a parsed dict."""
+    if isinstance(source, Mapping):
+        return workflow_from_dict(source)
+    if isinstance(source, Path) or (isinstance(source, str) and "\n" not in source and source.endswith(".json")):
+        path = Path(source)
+        if not path.exists():
+            raise JSONFormatError(f"workflow file not found: {path}")
+        text = path.read_text(encoding="utf-8")
+    else:
+        text = str(source)
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise JSONFormatError(f"invalid JSON workflow document: {exc}") from exc
+    return workflow_from_dict(document)

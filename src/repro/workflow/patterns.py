@@ -1,0 +1,232 @@
+"""Workflow-pattern generators.
+
+The paper's evaluation (Section V) notes that four patterns — *split*,
+*merge*, *sequence* and *parallel* — cover the basic needs of most scientific
+pipelines, and builds its synthetic experiments from a *diamond* shape that
+combines all four (Fig. 11): one split task, a body of ``h`` parallel columns
+by ``v`` sequential rows, and one merge task.  The body comes in a
+*simple-connected* flavour (independent columns) and a *fully-connected*
+flavour (every task of a row feeds every task of the next row).
+
+This module generates those workflows plus the adaptive variants used by the
+Fig. 13 experiment (whole diamond body replaced on-the-fly after an error on
+the last body task).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .adaptive import AdaptationSpec
+from .dag import Task, Workflow
+from .errors import WorkflowValidationError
+
+__all__ = [
+    "sequence_workflow",
+    "parallel_workflow",
+    "split_workflow",
+    "merge_workflow",
+    "diamond_workflow",
+    "adaptive_diamond_workflow",
+    "DEFAULT_SERVICE",
+]
+
+#: Service name used by every synthetic task; the service registry resolves
+#: it to a simulated service that sleeps for the task's ``duration``.
+DEFAULT_SERVICE = "synthetic"
+
+
+def _task(name: str, duration: float, service: str = DEFAULT_SERVICE, **metadata: Any) -> Task:
+    return Task(name=name, service=service, duration=duration, metadata=dict(metadata))
+
+
+def sequence_workflow(length: int, duration: float = 0.1, name: str = "sequence") -> Workflow:
+    """A chain of ``length`` tasks: ``S1 -> S2 -> ... -> Sn``."""
+    if length < 1:
+        raise WorkflowValidationError("sequence length must be >= 1")
+    workflow = Workflow(name=name)
+    previous: str | None = None
+    for index in range(1, length + 1):
+        task_name = f"S{index}"
+        workflow.add_task(_task(task_name, duration, level=index - 1))
+        if index == 1:
+            workflow.task(task_name).inputs.append("input")
+        if previous is not None:
+            workflow.add_dependency(previous, task_name)
+        previous = task_name
+    return workflow
+
+
+def parallel_workflow(width: int, duration: float = 0.1, name: str = "parallel") -> Workflow:
+    """``width`` independent tasks fed by a split task and joined by a merge task."""
+    if width < 1:
+        raise WorkflowValidationError("parallel width must be >= 1")
+    workflow = Workflow(name=name)
+    workflow.add_task(_task("split", duration, level=0))
+    workflow.task("split").inputs.append("input")
+    workflow.add_task(_task("merge", duration, level=2))
+    for index in range(1, width + 1):
+        task_name = f"P{index}"
+        workflow.add_task(_task(task_name, duration, level=1))
+        workflow.add_dependency("split", task_name)
+        workflow.add_dependency(task_name, "merge")
+    return workflow
+
+
+def split_workflow(fanout: int, duration: float = 0.1, name: str = "split") -> Workflow:
+    """One task whose output fans out to ``fanout`` consumers."""
+    if fanout < 1:
+        raise WorkflowValidationError("split fanout must be >= 1")
+    workflow = Workflow(name=name)
+    workflow.add_task(_task("source", duration, level=0))
+    workflow.task("source").inputs.append("input")
+    for index in range(1, fanout + 1):
+        task_name = f"C{index}"
+        workflow.add_task(_task(task_name, duration, level=1))
+        workflow.add_dependency("source", task_name)
+    return workflow
+
+
+def merge_workflow(fanin: int, duration: float = 0.1, name: str = "merge") -> Workflow:
+    """``fanin`` independent producers whose outputs join into one consumer."""
+    if fanin < 1:
+        raise WorkflowValidationError("merge fanin must be >= 1")
+    workflow = Workflow(name=name)
+    workflow.add_task(_task("sink", duration, level=1))
+    for index in range(1, fanin + 1):
+        task_name = f"P{index}"
+        workflow.add_task(_task(task_name, duration, level=0))
+        workflow.task(task_name).inputs.append(f"input{index}")
+        workflow.add_dependency(task_name, "sink")
+    return workflow
+
+
+def _body_task_name(row: int, column: int, prefix: str = "T") -> str:
+    return f"{prefix}_{row}_{column}"
+
+
+def diamond_workflow(
+    width: int,
+    depth: int,
+    connectivity: str = "simple",
+    duration: float = 0.1,
+    name: str | None = None,
+    body_prefix: str = "T",
+) -> Workflow:
+    """The diamond workflow of Fig. 11.
+
+    Parameters
+    ----------
+    width:
+        ``h`` — number of services in parallel per row.
+    depth:
+        ``v`` — number of rows (services in sequence per column).
+    connectivity:
+        ``"simple"`` — each column is an independent chain;
+        ``"full"`` — every task of a row feeds every task of the next row.
+    duration:
+        Nominal duration of every task (the paper uses a very low constant
+        execution time so that the measured time is coordination time).
+    body_prefix:
+        Prefix of body task names (lets a replacement body use distinct names).
+    """
+    if width < 1 or depth < 1:
+        raise WorkflowValidationError("diamond width and depth must be >= 1")
+    if connectivity not in ("simple", "full"):
+        raise WorkflowValidationError(f"unknown connectivity {connectivity!r} (use 'simple' or 'full')")
+    if name is None:
+        name = f"diamond-{width}x{depth}-{connectivity}"
+    workflow = Workflow(name=name)
+    workflow.add_task(_task("split", duration, role="split", level=0))
+    workflow.task("split").inputs.append("input")
+    workflow.add_task(_task("merge", duration, role="merge", level=depth + 1))
+
+    for row in range(1, depth + 1):
+        for column in range(1, width + 1):
+            task_name = _body_task_name(row, column, body_prefix)
+            workflow.add_task(_task(task_name, duration, role="body", level=row, row=row, column=column))
+
+    for column in range(1, width + 1):
+        workflow.add_dependency("split", _body_task_name(1, column, body_prefix))
+        workflow.add_dependency(_body_task_name(depth, column, body_prefix), "merge")
+
+    for row in range(1, depth):
+        for column in range(1, width + 1):
+            source = _body_task_name(row, column, body_prefix)
+            if connectivity == "simple":
+                workflow.add_dependency(source, _body_task_name(row + 1, column, body_prefix))
+            else:
+                for next_column in range(1, width + 1):
+                    workflow.add_dependency(source, _body_task_name(row + 1, next_column, body_prefix))
+    return workflow
+
+
+def _diamond_body(
+    width: int,
+    depth: int,
+    connectivity: str,
+    duration: float,
+    prefix: str,
+) -> Workflow:
+    """A diamond body (no split/merge) used as replacement sub-workflow."""
+    body = Workflow(name=f"body-{prefix}-{width}x{depth}-{connectivity}")
+    for row in range(1, depth + 1):
+        for column in range(1, width + 1):
+            body.add_task(_task(_body_task_name(row, column, prefix), duration, role="body", row=row, column=column))
+    for row in range(1, depth):
+        for column in range(1, width + 1):
+            source = _body_task_name(row, column, prefix)
+            if connectivity == "simple":
+                body.add_dependency(source, _body_task_name(row + 1, column, prefix))
+            else:
+                for next_column in range(1, width + 1):
+                    body.add_dependency(source, _body_task_name(row + 1, next_column, prefix))
+    return body
+
+
+def adaptive_diamond_workflow(
+    width: int,
+    depth: int,
+    body_connectivity: str = "simple",
+    replacement_connectivity: str = "simple",
+    duration: float = 0.1,
+    name: str | None = None,
+) -> Workflow:
+    """The Fig. 13 adaptive scenario.
+
+    Builds a diamond whose *last body task* (last row, last column) raises an
+    error at run time, plus an adaptation replacing the **whole diamond
+    body** by an equivalent body of the requested connectivity.  The three
+    paper scenarios map to:
+
+    * *simple to simple* — ``body_connectivity="simple"``, ``replacement_connectivity="simple"``
+    * *simple to full*   — ``body_connectivity="simple"``, ``replacement_connectivity="full"``
+    * *full to simple*   — ``body_connectivity="full"``,   ``replacement_connectivity="simple"``
+    """
+    if name is None:
+        name = f"adaptive-diamond-{width}x{depth}-{body_connectivity}-to-{replacement_connectivity}"
+    workflow = diamond_workflow(
+        width, depth, connectivity=body_connectivity, duration=duration, name=name, body_prefix="T"
+    )
+    # the last service of the mesh fails
+    failing = _body_task_name(depth, width, "T")
+    workflow.task(failing).metadata["force_error"] = True
+
+    replacement = _diamond_body(width, depth, replacement_connectivity, duration, prefix="R")
+    replaced = [
+        _body_task_name(row, column, "T")
+        for row in range(1, depth + 1)
+        for column in range(1, width + 1)
+    ]
+    entry_sources = {
+        _body_task_name(1, column, "R"): ["split"] for column in range(1, width + 1)
+    }
+    spec = AdaptationSpec(
+        name=f"{name}:replace-body",
+        replaced=replaced,
+        replacement=replacement,
+        entry_sources=entry_sources,
+        trigger_on=[failing],
+    )
+    workflow.add_adaptation(spec)
+    return workflow

@@ -1,0 +1,277 @@
+"""Unit tests for the service-agent core, coordinator and recovery."""
+
+import pytest
+
+from repro.agents import (
+    AgentCore,
+    AgentState,
+    Coordinator,
+    SendAdapt,
+    SendResult,
+    StartInvocation,
+    StatusUpdate,
+    rebuild_agent,
+    replay_messages,
+)
+from repro.hoclflow import encode_workflow
+from repro.messaging import Message, MessageKind, agent_topic
+from repro.workflow import AdaptationSpec, Task, Workflow, diamond_workflow
+
+
+def encodings_for(workflow):
+    return encode_workflow(workflow).tasks
+
+
+def fig5_workflow():
+    workflow = Workflow("fig5")
+    workflow.add_task(Task("T1", "s1", inputs=["input"]))
+    workflow.add_task(Task("T2", "s2", metadata={"force_error": True}))
+    workflow.add_task(Task("T3", "s3"))
+    workflow.add_task(Task("T4", "s4"))
+    workflow.add_dependency("T1", "T2")
+    workflow.add_dependency("T1", "T3")
+    workflow.add_dependency("T2", "T4")
+    workflow.add_dependency("T3", "T4")
+    replacement = Workflow("alt")
+    replacement.add_task(Task("T2p", "s2alt"))
+    workflow.add_adaptation(
+        AdaptationSpec("replace-T2", ["T2"], replacement, entry_sources={"T2p": ["T1"]})
+    )
+    return workflow
+
+
+class TestAgentLifecycle:
+    def test_entry_task_starts_invocation_at_boot(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["split"])
+        actions = core.boot()
+        invocations = [a for a in actions if isinstance(a, StartInvocation)]
+        assert len(invocations) == 1
+        assert invocations[0].parameters == ("input",)
+        assert core.invocation_requested
+
+    def test_waiting_task_does_not_invoke_at_boot(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["merge"])
+        actions = core.boot()
+        assert not any(isinstance(a, StartInvocation) for a in actions)
+        assert set(core.pending_sources()) == {"T_1_1", "T_1_2"}
+
+    def test_boot_emits_status(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["split"])
+        assert any(isinstance(a, StatusUpdate) for a in core.boot())
+
+    def test_result_propagation_after_invocation(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["split"])
+        core.boot()
+        actions = core.invocation_succeeded("split-out")
+        sends = [a for a in actions if isinstance(a, SendResult)]
+        assert {send.destination for send in sends} == {"T_1_1", "T_1_2"}
+        assert all(send.value == "split-out" for send in sends)
+        assert core.state == AgentState.COMPLETED
+        assert core.has_result()
+        assert core.result_value() == "split-out"
+        assert core.pending_destinations() == []
+
+    def test_receive_result_triggers_invocation_once_all_sources_arrive(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["merge"])
+        core.boot()
+        first = core.receive_result("T_1_1", "a")
+        assert not any(isinstance(a, StartInvocation) for a in first)
+        second = core.receive_result("T_1_2", "b")
+        invocations = [a for a in second if isinstance(a, StartInvocation)]
+        assert len(invocations) == 1
+        # parameters ordered by source task name
+        assert invocations[0].parameters == ("a", "b")
+
+    def test_duplicate_results_ignored(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["merge"])
+        core.boot()
+        core.receive_result("T_1_1", "a")
+        duplicate = core.receive_result("T_1_1", "a-again")
+        assert duplicate == []
+        assert core.duplicates_ignored == 1
+
+    def test_unknown_source_ignored(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["merge"])
+        core.boot()
+        assert core.receive_result("stranger", "x") == []
+
+    def test_invocation_failure_sets_error(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["split"])
+        core.boot()
+        actions = core.invocation_failed("boom")
+        assert core.has_error()
+        assert core.state == AgentState.FAILED
+        assert not any(isinstance(a, SendResult) for a in actions)
+
+    def test_status_snapshot(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["merge"])
+        core.boot()
+        status = core.status()
+        assert status["task"] == "merge"
+        assert status["state"] == AgentState.READY
+        assert set(status["pending_sources"]) == {"T_1_1", "T_1_2"}
+
+    def test_reduction_counters_increase(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["split"])
+        core.boot()
+        assert core.reactions > 0
+        assert core.match_attempts > 0
+        assert core.reduction_units > 0
+
+
+class TestAgentAdaptation:
+    def test_error_on_trigger_task_broadcasts_adapt(self):
+        encodings = encodings_for(fig5_workflow())
+        core = AgentCore(encodings["T2"])
+        core.boot()
+        core.receive_result("T1", "r1")
+        actions = core.invocation_failed("forced")
+        adapt = [a for a in actions if isinstance(a, SendAdapt)]
+        assert {a.destination for a in adapt} == {"T1", "T4", "T2p"}
+        assert all(a.adaptation == "replace-T2" for a in adapt)
+
+    def test_source_resends_to_replacement_after_adapt(self):
+        encodings = encodings_for(fig5_workflow())
+        core = AgentCore(encodings["T1"])
+        core.boot()
+        core.invocation_succeeded("r1")  # sends to T2, T3; DST now empty
+        actions = core.receive_adapt(1)
+        sends = [a for a in actions if isinstance(a, SendResult)]
+        assert [send.destination for send in sends] == ["T2p"]
+        assert sends[0].value == "r1"
+
+    def test_destination_swaps_sources_on_adapt(self):
+        encodings = encodings_for(fig5_workflow())
+        core = AgentCore(encodings["T4"])
+        core.boot()
+        core.receive_result("T3", "r3")
+        core.receive_adapt(1)
+        assert set(core.pending_sources()) == {"T2p"}
+        # T3's already-received input must be preserved (default mv_src policy)
+        core.receive_result("T2p", "r2p")
+        assert core.invocation_requested
+
+    def test_replacement_entry_waits_for_trigger(self):
+        encodings = encodings_for(fig5_workflow())
+        core = AgentCore(encodings["T2p"])
+        core.boot()
+        # even if T1's result arrives first, TRIGGER keeps it idle
+        core.receive_result("T1", "r1")
+        assert not core.invocation_requested
+        core.receive_adapt(1)
+        assert core.invocation_requested
+
+    def test_replacement_entry_trigger_then_result(self):
+        encodings = encodings_for(fig5_workflow())
+        core = AgentCore(encodings["T2p"])
+        core.boot()
+        core.receive_adapt(1)
+        assert not core.invocation_requested
+        core.receive_result("T1", "r1")
+        assert core.invocation_requested
+
+    def test_stale_result_from_replaced_task_ignored_after_adapt(self):
+        encodings = encodings_for(fig5_workflow())
+        core = AgentCore(encodings["T4"])
+        core.boot()
+        core.receive_adapt(1)
+        assert core.receive_result("T2", "late") == []
+        assert core.duplicates_ignored == 1
+
+
+class TestCoordinator:
+    def test_requires_exit_tasks(self):
+        with pytest.raises(ValueError):
+            Coordinator(exit_tasks=[])
+
+    def test_completion_detection(self):
+        completions = []
+        coordinator = Coordinator(exit_tasks=["merge"], on_complete=completions.append)
+        coordinator.record_status("merge", {"state": "completed", "has_result": False}, time=1.0)
+        assert not coordinator.completed
+        coordinator.record_status("merge", {"state": "completed", "has_result": True}, time=2.0)
+        assert coordinator.completed
+        assert coordinator.completion_time == 2.0
+        assert completions == [2.0]
+
+    def test_completion_requires_all_exits(self):
+        coordinator = Coordinator(exit_tasks=["a", "b"])
+        coordinator.record_status("a", {"has_result": True}, time=1.0)
+        assert not coordinator.completed
+        coordinator.record_status("b", {"has_result": True}, time=2.0)
+        assert coordinator.completed
+
+    def test_timeline_records_state_changes_only(self):
+        coordinator = Coordinator(exit_tasks=["a"])
+        coordinator.record_status("a", {"state": "ready"}, time=1.0)
+        coordinator.record_status("a", {"state": "ready"}, time=2.0)
+        coordinator.record_status("a", {"state": "invoking"}, time=3.0)
+        assert [event.event for event in coordinator.timeline] == ["ready", "invoking"]
+
+    def test_progress_and_queries(self):
+        coordinator = Coordinator(exit_tasks=["b"])
+        coordinator.record_status("a", {"state": "completed", "has_result": True}, time=1.0)
+        coordinator.record_status("b", {"state": "failed", "has_error": True}, time=2.0)
+        assert coordinator.progress() == 0.5
+        assert coordinator.task_state("a") == "completed"
+        assert coordinator.task_state("zzz") == "unknown"
+        assert coordinator.tasks_in_state("failed") == ["b"]
+        assert coordinator.error_tasks() == ["b"]
+
+
+class TestRecovery:
+    def test_replay_reaches_same_state(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        # original agent receives both results
+        original = AgentCore(encodings["merge"])
+        original.boot()
+        original.receive_result("T_1_1", "a")
+        original.receive_result("T_1_2", "b")
+
+        messages = [
+            Message(topic=agent_topic("merge"), kind=MessageKind.RESULT, sender="T_1_1", recipient="merge", payload="a"),
+            Message(topic=agent_topic("merge"), kind=MessageKind.RESULT, sender="T_1_2", recipient="merge", payload="b"),
+        ]
+        rebuilt, actions = rebuild_agent(encodings["merge"], messages)
+        assert rebuilt.pending_sources() == original.pending_sources() == []
+        assert rebuilt.current_parameters() == original.current_parameters()
+        assert any(isinstance(a, StartInvocation) for a in actions)
+
+    def test_replay_ignores_status_messages(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        core = AgentCore(encodings["merge"])
+        core.boot()
+        noise = [Message(topic=agent_topic("merge"), kind=MessageKind.STATUS, sender="x", recipient="merge", payload={})]
+        assert replay_messages(core, noise) == []
+
+    def test_replay_adapt_messages(self):
+        encodings = encodings_for(fig5_workflow())
+        messages = [
+            Message(topic=agent_topic("T2p"), kind=MessageKind.RESULT, sender="T1", recipient="T2p", payload="r1"),
+            Message(topic=agent_topic("T2p"), kind=MessageKind.ADAPT, sender="T2", recipient="T2p", payload=1),
+        ]
+        rebuilt, actions = rebuild_agent(encodings["T2p"], messages)
+        assert rebuilt.invocation_requested
+        assert any(isinstance(a, StartInvocation) for a in actions)
+
+    def test_duplicate_sends_after_recovery_are_harmless(self):
+        encodings = encodings_for(diamond_workflow(2, 1))
+        destination = AgentCore(encodings["merge"])
+        destination.boot()
+        destination.receive_result("T_1_1", "a")
+        destination.receive_result("T_1_2", "b")
+        invoked_before = destination.invocation_requested
+        # a recovered upstream agent re-sends its result
+        assert destination.receive_result("T_1_1", "a") == []
+        assert destination.invocation_requested == invoked_before
+        assert destination.duplicates_ignored == 1

@@ -1,0 +1,293 @@
+"""Unit tests for the cluster model, the messaging substrate and the services."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    GRID5000_TOTAL_CORES,
+    MesosMaster,
+    NetworkModel,
+    Node,
+    grid5000_cluster,
+    grid5000_network,
+)
+from repro.messaging import (
+    ACTIVEMQ_PROFILE,
+    KAFKA_PROFILE,
+    ActiveMQBroker,
+    KafkaBroker,
+    Message,
+    MessageKind,
+    MessageLog,
+    SimulatedBroker,
+    agent_topic,
+    profile_by_name,
+)
+from repro.services import (
+    FailureModel,
+    InvocationContext,
+    NO_FAILURES,
+    PythonService,
+    ServiceRegistry,
+    SyntheticService,
+)
+from repro.simkernel import RandomStreams, Simulator
+
+
+class TestNodesAndCluster:
+    def test_node_capacity(self):
+        node = Node("n1", cores=4, agents_per_core=2)
+        assert node.capacity == 8
+        assert node.free_slots == 8
+
+    def test_assign_and_release(self):
+        node = Node("n1", cores=1)
+        node.assign("a1")
+        assert node.free_slots == 1
+        node.release("a1")
+        assert node.free_slots == 2
+
+    def test_assign_over_capacity(self):
+        node = Node("n1", cores=1, agents_per_core=1)
+        node.assign("a1")
+        with pytest.raises(RuntimeError):
+            node.assign("a2")
+
+    def test_cluster_requires_nodes(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_cluster_unique_names(self):
+        with pytest.raises(ValueError):
+            Cluster([Node("n", 1), Node("n", 1)])
+
+    def test_round_robin_placement_spreads(self):
+        cluster = Cluster([Node("a", 2), Node("b", 2)])
+        placement = cluster.round_robin_placement(["x", "y", "z"])
+        assert placement["x"].name == "a"
+        assert placement["y"].name == "b"
+        assert placement["z"].name == "a"
+
+    def test_round_robin_capacity_exceeded(self):
+        cluster = Cluster([Node("a", 1, agents_per_core=1)])
+        with pytest.raises(RuntimeError):
+            cluster.round_robin_placement(["x", "y"])
+
+    def test_subset(self):
+        cluster = grid5000_cluster(25)
+        sub = cluster.subset(5)
+        assert len(sub) == 5
+
+    def test_grid5000_total_cores(self):
+        assert grid5000_cluster(25).total_cores == GRID5000_TOTAL_CORES == 568
+
+    def test_grid5000_capacity_allows_1000_services(self):
+        assert grid5000_cluster(25).total_capacity >= 1000
+
+    def test_grid5000_bad_node_count(self):
+        with pytest.raises(ValueError):
+            grid5000_cluster(0)
+        with pytest.raises(ValueError):
+            grid5000_cluster(26)
+
+    def test_network_transfer_time(self):
+        network = NetworkModel(latency=0.001, bandwidth=1000.0, jitter=0.0)
+        assert network.transfer_time(500) == pytest.approx(0.001 + 0.5)
+
+    def test_network_negative_size(self):
+        with pytest.raises(ValueError):
+            NetworkModel().transfer_time(-1)
+
+    def test_grid5000_network_is_fast(self):
+        assert grid5000_network().transfer_time(1024) < 0.01
+
+    def test_mesos_master_offers(self):
+        cluster = Cluster([Node("a", 1), Node("b", 1)])
+        master = MesosMaster(cluster, offer_interval=2.0, registration_delay=1.0)
+        assert master.next_offer_time() == 1.0
+        offer = master.make_offer()
+        assert len(offer) == 2
+        assert master.next_offer_time() == 3.0
+
+    def test_mesos_master_skips_full_nodes(self):
+        cluster = Cluster([Node("a", 1, agents_per_core=1)])
+        cluster.node("a").assign("x")
+        master = MesosMaster(cluster)
+        assert len(master.make_offer()) == 0
+
+
+class TestBrokers:
+    def test_profiles(self):
+        assert profile_by_name("activemq") is ACTIVEMQ_PROFILE
+        assert profile_by_name("kafka") is KAFKA_PROFILE
+        with pytest.raises(ValueError):
+            profile_by_name("rabbitmq")
+
+    def test_kafka_is_persistent_activemq_is_not(self):
+        assert KAFKA_PROFILE.persistent and not ACTIVEMQ_PROFILE.persistent
+
+    def test_kafka_costs_higher(self):
+        assert KAFKA_PROFILE.per_message_time > ACTIVEMQ_PROFILE.per_message_time
+
+    def test_message_log_offsets(self):
+        log = MessageLog()
+        m1 = Message(topic="t", kind="RESULT", sender="a", recipient="b")
+        m2 = Message(topic="t", kind="RESULT", sender="a", recipient="b")
+        assert log.append(m1) == 0
+        assert log.append(m2) == 1
+        assert log.replay("t") == [m1, m2]
+        assert log.replay("t", 1) == [m2]
+        assert log.size("t") == 2
+
+    def test_in_process_broker_delivery(self):
+        broker = ActiveMQBroker()
+        received = []
+        broker.subscribe("topic", received.append)
+        broker.publish(Message(topic="topic", kind="RESULT", sender="a", recipient="b", payload=1))
+        assert len(received) == 1
+        assert broker.published_count() == 1
+
+    def test_in_process_broker_unsubscribe(self):
+        broker = ActiveMQBroker()
+        received = []
+        broker.subscribe("topic", received.append)
+        broker.unsubscribe("topic", received.append)
+        broker.publish(Message(topic="topic", kind="RESULT", sender="a", recipient="b"))
+        assert received == []
+
+    def test_activemq_replay_not_supported(self):
+        with pytest.raises(RuntimeError):
+            ActiveMQBroker().replay("topic")
+
+    def test_kafka_replay(self):
+        broker = KafkaBroker()
+        message = Message(topic=agent_topic("T1"), kind="RESULT", sender="a", recipient="T1")
+        broker.publish(message)
+        assert broker.replay(agent_topic("T1")) == [message]
+        assert broker.consumer_offset(agent_topic("T1")) == 1
+        assert broker.replay_from_beginning(agent_topic("T1")) == [message]
+
+    def test_message_ids_unique(self):
+        a = Message(topic="t", kind="RESULT", sender="x", recipient="y")
+        b = Message(topic="t", kind="RESULT", sender="x", recipient="y")
+        assert a.message_id != b.message_id
+
+    def test_simulated_broker_delivers_with_delay(self):
+        sim = Simulator()
+        broker = SimulatedBroker(sim, ACTIVEMQ_PROFILE, randomness=RandomStreams(1))
+        received = []
+        broker.subscribe("t", lambda m: received.append(sim.now))
+        broker.publish(Message(topic="t", kind="RESULT", sender="a", recipient="b"))
+        sim.run()
+        assert len(received) == 1
+        assert received[0] > 0.0
+        assert broker.delivered_count() == 1
+
+    def test_simulated_broker_serialises_messages(self):
+        sim = Simulator()
+        broker = SimulatedBroker(sim, KAFKA_PROFILE, randomness=RandomStreams(1))
+        times = []
+        broker.subscribe("t", lambda m: times.append(sim.now))
+        for _ in range(3):
+            broker.publish(Message(topic="t", kind="RESULT", sender="a", recipient="b"))
+        sim.run()
+        assert times == sorted(times)
+        assert times[-1] - times[0] >= 2 * KAFKA_PROFILE.per_message_time * 0.99
+
+    def test_simulated_broker_replay_requires_persistence(self):
+        sim = Simulator()
+        broker = SimulatedBroker(sim, ACTIVEMQ_PROFILE)
+        with pytest.raises(RuntimeError):
+            broker.replay("t")
+
+    def test_simulated_kafka_broker_logs(self):
+        sim = Simulator()
+        broker = SimulatedBroker(sim, KAFKA_PROFILE)
+        broker.publish(Message(topic="t", kind="RESULT", sender="a", recipient="b"))
+        assert len(broker.replay("t")) == 1
+
+
+class TestServices:
+    def test_synthetic_service_output(self):
+        service = SyntheticService()
+        result = service.invoke([], InvocationContext(task_name="T1", duration=2.0))
+        assert result.value == "T1-out"
+        assert result.duration == 2.0
+        assert not result.failed
+
+    def test_synthetic_service_forced_error(self):
+        service = SyntheticService()
+        context = InvocationContext(task_name="T1", metadata={"force_error": True})
+        assert service.invoke([], context).failed
+
+    def test_synthetic_service_error_only_first_attempts(self):
+        service = SyntheticService()
+        metadata = {"force_error": True, "force_error_attempts": 1}
+        first = service.invoke([], InvocationContext(task_name="T1", metadata=metadata, attempt=1))
+        second = service.invoke([], InvocationContext(task_name="T1", metadata=metadata, attempt=2))
+        assert first.failed and not second.failed
+
+    def test_python_service(self):
+        service = PythonService("add", lambda a, b: a + b)
+        result = service.invoke([2, 3], InvocationContext(task_name="T"))
+        assert result.value == 5
+
+    def test_python_service_exception_becomes_failure(self):
+        service = PythonService("boom", lambda: 1 / 0)
+        assert service.invoke([], InvocationContext(task_name="T")).failed
+
+    def test_python_service_requires_callable(self):
+        with pytest.raises(TypeError):
+            PythonService("x", 42)
+
+    def test_registry_resolution_and_fallback(self):
+        registry = ServiceRegistry()
+        registry.register_function("add", lambda a, b: a + b)
+        assert registry.knows("add")
+        assert not registry.knows("unknown")
+        fallback = registry.resolve("unknown")
+        assert isinstance(fallback, SyntheticService)
+        assert registry.resolve("unknown") is fallback
+
+    def test_registry_copy(self):
+        registry = ServiceRegistry()
+        registry.register_function("a", lambda: 1)
+        clone = registry.copy()
+        clone.register_function("b", lambda: 2)
+        assert not registry.knows("b")
+
+
+class TestFailureModel:
+    def test_disabled_by_default(self):
+        assert not NO_FAILURES.enabled
+        assert NO_FAILURES.crash_time(100, RandomStreams(1), "x") is None
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            FailureModel(probability=1.0)
+        with pytest.raises(ValueError):
+            FailureModel(probability=-0.1)
+
+    def test_short_invocations_not_exposed(self):
+        model = FailureModel(probability=0.99, delay=50.0)
+        assert model.crash_time(10.0, RandomStreams(1), "x") is None
+
+    def test_crash_time_equals_delay(self):
+        model = FailureModel(probability=0.999999, delay=5.0)
+        assert model.crash_time(100.0, RandomStreams(1), "x") == 5.0
+
+    def test_expected_failures_formula(self):
+        model = FailureModel(probability=0.5, delay=0.0)
+        assert model.expected_failures(100) == pytest.approx(100.0)
+        model = FailureModel(probability=0.8, delay=0.0)
+        assert model.expected_failures(118) == pytest.approx(472.0)
+
+    def test_recovery_overhead(self):
+        model = FailureModel(probability=0.1, detection_delay=1.0, restart_delay=2.0)
+        assert model.recovery_overhead() == 3.0
+
+    def test_crash_draw_reproducible(self):
+        model = FailureModel(probability=0.5, delay=0.0)
+        draws_a = [model.crash_time(10, RandomStreams(9), f"l{i}") for i in range(20)]
+        draws_b = [model.crash_time(10, RandomStreams(9), f"l{i}") for i in range(20)]
+        assert draws_a == draws_b

@@ -1,0 +1,120 @@
+"""Unit tests for the executors (SSH, Mesos, centralised)."""
+
+import pytest
+
+from repro.cluster import Cluster, Node, grid5000_cluster
+from repro.executors import (
+    CentralizedExecutor,
+    DeploymentPlan,
+    MesosExecutor,
+    SSHExecutor,
+)
+from repro.services import ServiceRegistry
+from repro.workflow import Task, Workflow, adaptive_diamond_workflow, diamond_workflow
+
+
+def agent_names(count):
+    return [f"agent-{i}" for i in range(count)]
+
+
+class TestDeploymentPlan:
+    def test_validate_consistency(self):
+        plan = DeploymentPlan(placement={"a": "n1"}, ready_times={"a": 1.0}, deployment_time=1.0)
+        plan.validate()
+
+    def test_validate_missing_ready_time(self):
+        plan = DeploymentPlan(placement={"a": "n1"}, ready_times={}, deployment_time=1.0)
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_validate_deployment_time_bound(self):
+        plan = DeploymentPlan(placement={"a": "n1"}, ready_times={"a": 5.0}, deployment_time=1.0)
+        with pytest.raises(ValueError):
+            plan.validate()
+
+    def test_agents_on(self):
+        plan = DeploymentPlan(placement={"a": "n1", "b": "n2", "c": "n1"}, ready_times={"a": 1, "b": 1, "c": 1}, deployment_time=1)
+        assert sorted(plan.agents_on("n1")) == ["a", "c"]
+
+
+class TestSSHExecutor:
+    def test_places_all_agents(self):
+        plan = SSHExecutor().plan(grid5000_cluster(10), agent_names(102))
+        assert len(plan.placement) == 102
+        assert plan.executor == "ssh"
+        assert plan.deployment_time >= max(plan.ready_times.values())
+
+    def test_round_robin_spread(self):
+        cluster = Cluster([Node("a", 4), Node("b", 4)])
+        plan = SSHExecutor().plan(cluster, agent_names(4))
+        assert len(set(plan.placement.values())) == 2
+
+    def test_deployment_time_increases_slightly_with_nodes(self):
+        executor = SSHExecutor()
+        times = [executor.plan(grid5000_cluster(n), agent_names(102)).deployment_time for n in (5, 10, 15)]
+        assert times[2] >= times[0]
+        assert times[2] - times[0] < 10.0
+
+    def test_capacity_check(self):
+        cluster = Cluster([Node("a", 1, agents_per_core=1)])
+        with pytest.raises(RuntimeError):
+            SSHExecutor().plan(cluster, agent_names(2))
+
+
+class TestMesosExecutor:
+    def test_places_all_agents(self):
+        plan = MesosExecutor().plan(grid5000_cluster(10), agent_names(102))
+        assert len(plan.placement) == 102
+        assert plan.executor == "mesos"
+
+    def test_one_agent_per_machine_per_offer(self):
+        cluster = Cluster([Node("a", 4), Node("b", 4)])
+        executor = MesosExecutor(offer_interval=2.0, registration_delay=1.0, agent_start_time=0.0)
+        plan = executor.plan(cluster, agent_names(4))
+        # 2 agents per round, 2 rounds: ready times 1.0, 1.0, 3.0, 3.0
+        assert sorted(plan.ready_times.values()) == [1.0, 1.0, 3.0, 3.0]
+
+    def test_deployment_time_decreases_with_nodes(self):
+        executor = MesosExecutor()
+        times = [executor.plan(grid5000_cluster(n), agent_names(102)).deployment_time for n in (5, 10, 15)]
+        assert times[0] > times[1] > times[2]
+
+    def test_capacity_check(self):
+        cluster = Cluster([Node("a", 1, agents_per_core=1)])
+        with pytest.raises(RuntimeError):
+            MesosExecutor().plan(cluster, agent_names(3))
+
+
+class TestCentralizedExecutor:
+    def test_executes_diamond(self):
+        outcome = CentralizedExecutor().execute(diamond_workflow(3, 2))
+        assert outcome.result_of("merge") == "merge-out"
+        assert outcome.invocations == 3 * 2 + 2
+        assert not outcome.errors
+
+    def test_executes_adaptive_diamond(self):
+        outcome = CentralizedExecutor().execute(adaptive_diamond_workflow(2, 2))
+        assert outcome.result_of("merge") == "merge-out"
+        assert "T_2_2" in outcome.errors
+        assert outcome.result_of("R_2_2") == "R_2_2-out"
+
+    def test_registered_python_services_do_real_work(self):
+        registry = ServiceRegistry()
+        registry.register_function("double", lambda value: value * 2)
+        registry.register_function("add", lambda a, b: a + b)
+        workflow = Workflow("math")
+        workflow.add_task(Task("A", "double", inputs=[21]))
+        workflow.add_task(Task("B", "double", inputs=[10]))
+        workflow.add_task(Task("C", "add"))
+        workflow.add_dependency("A", "C")
+        workflow.add_dependency("B", "C")
+        outcome = CentralizedExecutor(registry=registry).execute(workflow)
+        assert outcome.result_of("A") == 42
+        assert outcome.result_of("C") == 62
+
+    def test_failed_service_reports_error(self):
+        workflow = Workflow("failing")
+        workflow.add_task(Task("A", "synthetic", inputs=[1], metadata={"force_error": True}))
+        outcome = CentralizedExecutor().execute(workflow)
+        assert "A" in outcome.errors
+        assert outcome.result_of("A") is None

@@ -1,0 +1,138 @@
+"""Unit tests for the Multiset container."""
+
+import pytest
+
+from repro.hocl import IntAtom, Multiset, Rule, Subsolution, Symbol, TupleAtom, Var
+
+
+def make_rule(name="r"):
+    return Rule(name, [Var("x", kind="int")], [])
+
+
+class TestBasicOperations:
+    def test_empty(self):
+        assert len(Multiset()) == 0
+
+    def test_init_coerces(self):
+        ms = Multiset([1, "a"])
+        assert IntAtom(1) in ms
+
+    def test_add_returns_atom(self):
+        ms = Multiset()
+        atom = ms.add(3)
+        assert atom == IntAtom(3)
+
+    def test_duplicates_allowed(self):
+        ms = Multiset([1, 1, 1])
+        assert ms.count(1) == 3
+
+    def test_remove_one_occurrence(self):
+        ms = Multiset([1, 1])
+        ms.remove(1)
+        assert ms.count(1) == 1
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(KeyError):
+            Multiset().remove(1)
+
+    def test_discard_missing_returns_false(self):
+        assert Multiset().discard(1) is False
+
+    def test_discard_present_returns_true(self):
+        assert Multiset([1]).discard(1) is True
+
+    def test_remove_identical_uses_identity(self):
+        a1, a2 = IntAtom(1), IntAtom(1)
+        ms = Multiset([a1, a2])
+        ms.remove_identical(a2)
+        assert len(ms) == 1
+        assert ms.atoms()[0] is a1
+
+    def test_remove_identical_missing_raises(self):
+        with pytest.raises(KeyError):
+            Multiset([IntAtom(1)]).remove_identical(IntAtom(1))
+
+    def test_clear(self):
+        ms = Multiset([1, 2, 3])
+        ms.clear()
+        assert len(ms) == 0
+
+    def test_contains(self):
+        assert 1 in Multiset([1])
+        assert 2 not in Multiset([1])
+
+
+class TestQueries:
+    def test_find(self):
+        ms = Multiset([1, 2, 3])
+        assert ms.find(lambda a: isinstance(a, IntAtom) and a.value > 1) == IntAtom(2)
+
+    def test_find_none(self):
+        assert Multiset([1]).find(lambda a: False) is None
+
+    def test_find_all(self):
+        ms = Multiset([1, 2, 3])
+        assert len(ms.find_all(lambda a: isinstance(a, IntAtom))) == 3
+
+    def test_find_tuple_by_head(self):
+        ms = Multiset([TupleAtom([Symbol("SRC"), Subsolution()]), TupleAtom([Symbol("DST"), Subsolution()])])
+        assert ms.find_tuple("SRC").head_symbol() == "SRC"
+        assert ms.find_tuple("RES") is None
+
+    def test_replace_tuple(self):
+        ms = Multiset([TupleAtom([Symbol("SRC"), Subsolution([Symbol("T1")])])])
+        ms.replace_tuple("SRC", TupleAtom([Symbol("SRC"), Subsolution()]))
+        assert len(ms.find_tuple("SRC")[1].solution) == 0
+
+    def test_replace_tuple_adds_when_absent(self):
+        ms = Multiset()
+        ms.replace_tuple("PAR", TupleAtom([Symbol("PAR"), 1]))
+        assert ms.find_tuple("PAR") is not None
+
+    def test_has_symbol(self):
+        assert Multiset([Symbol("ADAPT")]).has_symbol("ADAPT")
+        assert not Multiset().has_symbol("ADAPT")
+
+    def test_remove_symbol(self):
+        ms = Multiset([Symbol("ADAPT")])
+        assert ms.remove_symbol("ADAPT")
+        assert not ms.remove_symbol("ADAPT")
+
+    def test_subsolutions(self):
+        ms = Multiset([Subsolution([1]), 2])
+        assert len(ms.subsolutions()) == 1
+
+    def test_rules_and_non_rules(self):
+        rule = make_rule()
+        ms = Multiset([rule, 1])
+        assert ms.rules() == [rule]
+        assert len(ms.non_rule_atoms()) == 1
+
+
+class TestStructure:
+    def test_copy_independent(self):
+        ms = Multiset([Subsolution([1])])
+        clone = ms.copy()
+        ms.subsolutions()[0].solution.add(2)
+        assert len(clone.subsolutions()[0].solution) == 1
+
+    def test_union(self):
+        combined = Multiset([1]).union(Multiset([2]))
+        assert len(combined) == 2
+
+    def test_size_recursive_counts_nested(self):
+        ms = Multiset([Subsolution([1, 2]), TupleAtom([Symbol("T"), Subsolution([3])])])
+        # 2 top-level + 2 nested + 1 nested-in-tuple
+        assert ms.size_recursive() == 5
+
+    def test_equality_ignores_order(self):
+        assert Multiset([1, 2]) == Multiset([2, 1])
+
+    def test_equality_respects_multiplicity(self):
+        assert Multiset([1, 1]) != Multiset([1])
+
+    def test_equality_with_other_type(self):
+        assert Multiset([1]).__eq__(42) is NotImplemented
+
+    def test_str_rendering(self):
+        assert str(Multiset([1])) == "<1>"

@@ -1,0 +1,285 @@
+"""Unit tests for rules, templates, externals and the reduction engine."""
+
+import pytest
+
+from repro.hocl import (
+    Call,
+    Compute,
+    ExternalFunctionError,
+    ExternalRegistry,
+    IntAtom,
+    ListAtom,
+    ListTemplate,
+    Literal,
+    Multiset,
+    Omega,
+    PatternError,
+    ReductionEngine,
+    Ref,
+    Rule,
+    RuleError,
+    RulePattern,
+    SolutionPattern,
+    SolutionTemplate,
+    Splice,
+    Subsolution,
+    Symbol,
+    SymbolPattern,
+    TupleTemplate,
+    Var,
+    default_registry,
+    is_inert,
+    reduce_solution,
+    replace,
+    replace_one,
+    with_inject,
+)
+
+
+def max_rule():
+    return Rule(
+        "max",
+        [Var("x", kind="int"), Var("y", kind="int")],
+        [Ref("x")],
+        condition=lambda b: b.value("x") >= b.value("y"),
+    )
+
+
+class TestTemplates:
+    def test_ref_expands_bound_atom(self):
+        assert Ref("x").expand({"x": IntAtom(1)}, None) == [IntAtom(1)]
+
+    def test_ref_unbound_raises(self):
+        with pytest.raises(PatternError):
+            Ref("x").expand({}, None)
+
+    def test_ref_on_omega_binding_raises(self):
+        with pytest.raises(PatternError):
+            Ref("w").expand({"w": [IntAtom(1)]}, None)
+
+    def test_splice_expands_list(self):
+        assert Splice("w").expand({"w": [IntAtom(1), IntAtom(2)]}, None) == [IntAtom(1), IntAtom(2)]
+
+    def test_splice_single_value(self):
+        assert Splice("w").expand({"w": IntAtom(1)}, None) == [IntAtom(1)]
+
+    def test_tuple_template(self):
+        atoms = TupleTemplate(Symbol("SRC"), Splice("w")).expand({"w": [IntAtom(1)]}, None)
+        assert atoms[0].elements == (Symbol("SRC"), IntAtom(1))
+
+    def test_solution_template(self):
+        atoms = SolutionTemplate(1, 2).expand({}, None)
+        assert atoms[0] == Subsolution([1, 2])
+
+    def test_list_template(self):
+        atoms = ListTemplate(1, Splice("w")).expand({"w": [IntAtom(2)]}, None)
+        assert atoms[0] == ListAtom([1, 2])
+
+    def test_call_requires_registry(self):
+        with pytest.raises(ExternalFunctionError):
+            Call("list", 1).expand({}, None)
+
+    def test_call_invokes_registered_function(self):
+        registry = default_registry()
+        atoms = Call("list", 1, 2).expand({}, registry)
+        assert atoms == [ListAtom([1, 2])]
+
+    def test_compute_none_produces_nothing(self):
+        assert Compute(lambda b: None).expand({}, None) == []
+
+    def test_compute_value_coerced(self):
+        assert Compute(lambda b: 7).expand({}, None) == [IntAtom(7)]
+
+
+class TestExternals:
+    def test_builtins_present(self):
+        registry = default_registry()
+        for name in ("list", "concat", "first", "flatten"):
+            assert registry.knows(name)
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExternalFunctionError):
+            default_registry().invoke("nope", [], {})
+
+    def test_register_and_invoke(self):
+        registry = default_registry()
+        registry.register("double", lambda args, b: IntAtom(args[0].value * 2))
+        assert registry.invoke("double", [IntAtom(4)], {}) == IntAtom(8)
+
+    def test_register_non_callable_raises(self):
+        with pytest.raises(ExternalFunctionError):
+            default_registry().register("x", 42)
+
+    def test_failure_wrapped(self):
+        registry = default_registry()
+        registry.register("boom", lambda args, b: 1 / 0)
+        with pytest.raises(ExternalFunctionError):
+            registry.invoke("boom", [], {})
+
+    def test_concat(self):
+        registry = default_registry()
+        result = registry.invoke("concat", [ListAtom([1]), ListAtom([2, 3])], {})
+        assert result == ListAtom([1, 2, 3])
+
+    def test_first(self):
+        registry = default_registry()
+        assert registry.invoke("first", [ListAtom([7, 8])], {}) == IntAtom(7)
+
+    def test_first_empty_raises(self):
+        with pytest.raises(ExternalFunctionError):
+            default_registry().invoke("first", [ListAtom([])], {})
+
+    def test_flatten(self):
+        registry = default_registry()
+        result = registry.invoke("flatten", [ListAtom([[1, [2]], 3])], {})
+        assert result == ListAtom([1, 2, 3])
+
+    def test_copy_is_independent(self):
+        registry = default_registry()
+        clone = registry.copy()
+        clone.register("only-in-clone", lambda args, b: None)
+        assert not registry.knows("only-in-clone")
+
+    def test_unregister(self):
+        registry = default_registry()
+        registry.unregister("list")
+        assert not registry.knows("list")
+
+
+class TestRuleConstruction:
+    def test_requires_name(self):
+        with pytest.raises(RuleError):
+            Rule("", [Var("x")], [])
+
+    def test_requires_patterns(self):
+        with pytest.raises(RuleError):
+            Rule("r", [], [])
+
+    def test_replace_is_nshot(self):
+        assert replace("r", [Var("x")], []).one_shot is False
+
+    def test_replace_one_is_oneshot(self):
+        assert replace_one("r", [Var("x")], []).one_shot is True
+
+    def test_with_inject_keeps_matched(self):
+        rule = with_inject("r", [Var("x")], [Symbol("A")])
+        assert rule.one_shot and rule.keep_matched
+
+    def test_rules_equal_by_name(self):
+        assert Rule("a", [Var("x")], []) == Rule("a", [Var("y")], [])
+        assert Rule("a", [Var("x")], []) != Rule("b", [Var("x")], [])
+
+    def test_condition_type_error_means_no_match(self):
+        rule = max_rule()
+        solution = Multiset([1, Symbol("A"), 2])
+        # the symbol cannot satisfy the arithmetic condition; no crash
+        report = reduce_solution(solution)
+        assert report.inert
+
+
+class TestReduction:
+    def test_getmax(self):
+        solution = Multiset([2, 3, 5, 8, 9, max_rule()])
+        report = reduce_solution(solution)
+        assert report.inert
+        assert report.reactions == 4
+        assert IntAtom(9) in solution
+        assert len(solution) == 2  # rule + max value
+
+    def test_one_shot_rule_removed_after_firing(self):
+        rule = replace_one("once", [Var("x", kind="int")], [Symbol("DONE")])
+        solution = Multiset([1, 2, rule])
+        reduce_solution(solution)
+        assert solution.has_symbol("DONE")
+        assert rule not in solution
+        # only one integer consumed
+        assert sum(1 for a in solution.atoms() if isinstance(a, IntAtom)) == 1
+
+    def test_with_inject_preserves_matched(self):
+        rule = with_inject("inj", [Literal(1)], [Symbol("SEEN")])
+        solution = Multiset([1, rule])
+        reduce_solution(solution)
+        assert 1 in solution
+        assert solution.has_symbol("SEEN")
+
+    def test_higher_order_rule_removal(self):
+        inner_rule = max_rule()
+        clean = replace_one(
+            "clean",
+            [SolutionPattern(RulePattern(name="max"), rest=Omega("w"))],
+            [Splice("w")],
+        )
+        solution = Multiset([Subsolution([2, 9, inner_rule]), clean])
+        reduce_solution(solution)
+        assert IntAtom(9) in solution
+        assert len(solution) == 1
+
+    def test_nested_solutions_reduce_before_outer(self):
+        # the outer rule extracts the content of the inner solution only once
+        # the inner solution is inert (i.e. reduced to its maximum).
+        extract = replace_one("extract", [SolutionPattern(Var("x", kind="int"), rest=Omega("w"))], [Ref("x")])
+        solution = Multiset([Subsolution([3, 7, max_rule()]), extract])
+        reduce_solution(solution)
+        assert IntAtom(7) in solution
+
+    def test_effect_hook_runs_on_fire(self):
+        fired = []
+        rule = replace_one("e", [Var("x", kind="int")], [], effect=lambda b: fired.append(b.value("x")))
+        reduce_solution(Multiset([5, rule]))
+        assert fired == [5]
+
+    def test_priority_orders_rule_attempts(self):
+        order = []
+        low = replace_one("low", [Var("x", kind="int")], [], effect=lambda b: order.append("low"), priority=0)
+        high = replace_one("high", [Var("x", kind="int")], [], effect=lambda b: order.append("high"), priority=5)
+        reduce_solution(Multiset([1, 2, low, high]))
+        assert order[0] == "high"
+
+    def test_max_steps_marks_non_inert(self):
+        # a rule that rewrites 1 -> 1 forever
+        loop = replace("loop", [Literal(1)], [Literal(1).atom])
+        solution = Multiset([1, loop])
+        report = ReductionEngine(max_steps=10).reduce(solution)
+        assert not report.inert
+        assert report.reactions == 10
+
+    def test_is_inert_helpers(self):
+        assert is_inert(Multiset([1, 2]))
+        assert not is_inert(Multiset([1, 2, max_rule()]))
+
+    def test_step_applies_single_reaction(self):
+        solution = Multiset([1, 2, max_rule()])
+        engine = ReductionEngine()
+        assert engine.step(solution) is True
+        assert engine.step(solution) is False
+
+    def test_observer_called(self):
+        seen = []
+        engine = ReductionEngine(observer=lambda rule, match, depth: seen.append(rule.name))
+        engine.reduce(Multiset([1, 2, max_rule()]))
+        assert seen == ["max"]
+
+    def test_reduction_inside_tuple_wrapped_solution(self):
+        # task sub-solutions live inside tuples; the engine must reduce them
+        from repro.hocl import TupleAtom
+
+        solution = Multiset([TupleAtom([Symbol("T1"), Subsolution([1, 4, max_rule()])])])
+        report = reduce_solution(solution)
+        assert report.reactions == 1
+
+    def test_rule_cannot_consume_itself(self):
+        eater = replace("eater", [RulePattern()], [])
+        solution = Multiset([eater])
+        report = reduce_solution(solution)
+        assert report.reactions == 0
+        assert eater in solution
+
+    def test_report_history_records_rules(self):
+        report = reduce_solution(Multiset([1, 2, max_rule()]))
+        assert [r.rule for r in report.history] == ["max"]
+
+    def test_report_merge(self):
+        a = reduce_solution(Multiset([1, 2, max_rule()]))
+        b = reduce_solution(Multiset([3, 4, max_rule()]))
+        a.merge(b)
+        assert a.reactions == 2

@@ -1,0 +1,273 @@
+"""Tests for the runtime layer: config, costs, reports, simulated / threaded /
+centralised execution, and cross-mode consistency."""
+
+import pytest
+
+from repro.runtime import (
+    CostModel,
+    GinFlow,
+    GinFlowConfig,
+    RunReport,
+    run_simulation,
+    run_threaded,
+)
+from repro.services import FailureModel, ServiceRegistry
+from repro.workflow import (
+    Task,
+    Workflow,
+    adaptive_diamond_workflow,
+    diamond_workflow,
+    montage_workflow,
+    sequence_workflow,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = GinFlowConfig()
+        assert config.mode == "simulated"
+        assert config.broker == "activemq"
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            GinFlowConfig(mode="quantum")
+
+    def test_invalid_executor(self):
+        with pytest.raises(ValueError):
+            GinFlowConfig(executor="ec2")
+
+    def test_invalid_broker(self):
+        with pytest.raises(ValueError):
+            GinFlowConfig(broker="rabbitmq")
+
+    def test_failures_require_persistent_broker(self):
+        with pytest.raises(ValueError):
+            GinFlowConfig(broker="activemq", failures=FailureModel(probability=0.5))
+        GinFlowConfig(broker="kafka", failures=FailureModel(probability=0.5))
+
+    def test_with_overrides_does_not_mutate_original(self):
+        config = GinFlowConfig()
+        other = config.with_overrides(broker="kafka", nodes=5)
+        assert config.broker == "activemq"
+        assert other.broker == "kafka" and other.nodes == 5
+
+    def test_build_cluster_size(self):
+        assert len(GinFlowConfig(nodes=7).build_cluster()) == 7
+
+    def test_build_executor_types(self):
+        assert GinFlowConfig(executor="ssh").build_executor().name == "ssh"
+        assert GinFlowConfig(executor="mesos").build_executor().name == "mesos"
+
+    def test_broker_profile_selection(self):
+        assert GinFlowConfig(broker="kafka").broker_profile().persistent
+
+
+class TestCostModel:
+    def test_handling_cost_grows_with_units(self):
+        costs = CostModel()
+        assert costs.handling_cost(100) > costs.handling_cost(0)
+
+    def test_broker_profile_lookup(self):
+        costs = CostModel()
+        assert costs.broker_profile("activemq").name == "activemq"
+        with pytest.raises(ValueError):
+            costs.broker_profile("zeromq")
+
+    def test_with_overrides(self):
+        costs = CostModel().with_overrides(handling_base=1.0)
+        assert costs.handling_base == 1.0
+
+    def test_replay_cost_linear(self):
+        costs = CostModel()
+        assert costs.replay_cost(10) == pytest.approx(10 * costs.recovery_replay_cost_per_message)
+
+
+class TestRunReport:
+    def test_summary_fields(self):
+        report = RunReport(succeeded=True, makespan=10.0)
+        summary = report.summary()
+        assert summary["succeeded"] is True
+        assert summary["makespan"] == 10.0
+
+    def test_format_summary_contains_key_lines(self):
+        report = RunReport(succeeded=True, deployment_time=1.0, execution_time=2.0, makespan=3.0)
+        text = report.format_summary()
+        assert "succeeded" in text and "makespan" in text
+
+
+class TestSimulatedRuntime:
+    def test_diamond_completes(self):
+        report = run_simulation(diamond_workflow(3, 3, duration=0.1), GinFlowConfig(nodes=10))
+        assert report.succeeded
+        assert report.results["merge"] == "merge-out"
+        assert report.execution_time > 0
+        assert report.deployment_time > 0
+        assert len(report.tasks) == 11
+        assert report.messages_published > 0
+
+    def test_sequence_completes(self):
+        report = run_simulation(sequence_workflow(5, duration=0.1), GinFlowConfig(nodes=5))
+        assert report.succeeded
+        assert report.results["S5"] == "S5-out"
+
+    def test_deterministic_given_seed(self):
+        config = GinFlowConfig(nodes=10, seed=42)
+        first = run_simulation(diamond_workflow(4, 4, duration=0.1), config)
+        second = run_simulation(diamond_workflow(4, 4, duration=0.1), config)
+        assert first.execution_time == second.execution_time
+        assert first.messages_published == second.messages_published
+
+    def test_adaptive_diamond_triggers_adaptation(self):
+        report = run_simulation(adaptive_diamond_workflow(3, 3), GinFlowConfig(nodes=10))
+        assert report.succeeded
+        assert report.adaptations_triggered == 1
+        assert report.tasks["T_3_3"].error
+        assert report.tasks["R_3_3"].result is not None
+
+    def test_adaptive_costs_more_than_plain(self):
+        config = GinFlowConfig(nodes=10)
+        plain = run_simulation(diamond_workflow(4, 4, duration=0.1), config)
+        adaptive = run_simulation(adaptive_diamond_workflow(4, 4, duration=0.1), config)
+        assert adaptive.execution_time > plain.execution_time
+
+    def test_kafka_slower_than_activemq(self):
+        workflow = diamond_workflow(5, 5, duration=0.1)
+        amq = run_simulation(workflow, GinFlowConfig(nodes=10, broker="activemq"))
+        kafka = run_simulation(workflow, GinFlowConfig(nodes=10, broker="kafka"))
+        assert kafka.execution_time > amq.execution_time
+
+    def test_mesos_deployment_differs_from_ssh(self):
+        workflow = diamond_workflow(5, 5, duration=0.1)
+        ssh = run_simulation(workflow, GinFlowConfig(nodes=5, executor="ssh"))
+        mesos = run_simulation(workflow, GinFlowConfig(nodes=5, executor="mesos"))
+        assert ssh.deployment_time != mesos.deployment_time
+
+    def test_failure_injection_recovers_and_completes(self):
+        config = GinFlowConfig(
+            nodes=25,
+            executor="mesos",
+            broker="kafka",
+            failures=FailureModel(probability=0.5, delay=0.0),
+            seed=7,
+        )
+        report = run_simulation(montage_workflow(duration_scale=0.2), config)
+        assert report.succeeded
+        assert report.failures_injected > 0
+        assert report.recoveries == report.failures_injected
+        baseline = run_simulation(
+            montage_workflow(duration_scale=0.2),
+            GinFlowConfig(nodes=25, executor="mesos", broker="kafka", seed=7),
+        )
+        assert report.execution_time > baseline.execution_time
+
+    def test_failures_increase_with_probability(self):
+        def run(probability):
+            config = GinFlowConfig(
+                nodes=25,
+                executor="mesos",
+                broker="kafka",
+                failures=FailureModel(probability=probability, delay=0.0),
+                seed=11,
+            )
+            return run_simulation(montage_workflow(duration_scale=0.1), config)
+
+        low, high = run(0.2), run(0.8)
+        assert high.failures_injected > low.failures_injected
+
+    def test_status_updates_recorded(self):
+        report = run_simulation(diamond_workflow(2, 2, duration=0.1), GinFlowConfig(nodes=5))
+        assert report.extra["status_updates"] > 0
+        assert report.timeline  # state transitions were recorded
+
+    def test_timeline_can_be_disabled(self):
+        report = run_simulation(
+            diamond_workflow(2, 2, duration=0.1), GinFlowConfig(nodes=5, collect_timeline=False)
+        )
+        assert report.timeline == []
+
+    def test_duplicate_results_counter_zero_without_failures(self):
+        report = run_simulation(diamond_workflow(3, 3, duration=0.1), GinFlowConfig(nodes=5))
+        assert report.duplicate_results_ignored == 0
+
+
+class TestThreadedRuntime:
+    def test_diamond_completes(self):
+        report = run_threaded(diamond_workflow(3, 2), timeout=30.0)
+        assert report.succeeded
+        assert report.results["merge"] == "merge-out"
+        assert report.mode == "threaded"
+
+    def test_adaptive_diamond_completes(self):
+        report = run_threaded(adaptive_diamond_workflow(2, 2), timeout=30.0)
+        assert report.succeeded
+        assert report.adaptations_triggered == 1
+        assert report.tasks["T_2_2"].error
+
+    def test_real_python_services(self):
+        registry = ServiceRegistry()
+        registry.register_function("square", lambda value: value * value)
+        registry.register_function("sum2", lambda a, b: a + b)
+        workflow = Workflow("math")
+        workflow.add_task(Task("A", "square", inputs=[3]))
+        workflow.add_task(Task("B", "square", inputs=[4]))
+        workflow.add_task(Task("C", "sum2"))
+        workflow.add_dependency("A", "C")
+        workflow.add_dependency("B", "C")
+        config = GinFlowConfig(mode="threaded", registry=registry)
+        report = run_threaded(workflow, config, timeout=30.0)
+        assert report.succeeded
+        assert report.results["C"] == 25
+
+    def test_kafka_broker_mode(self):
+        config = GinFlowConfig(mode="threaded", broker="kafka")
+        report = run_threaded(diamond_workflow(2, 2), config, timeout=30.0)
+        assert report.succeeded
+
+
+class TestGinFlowFacade:
+    def test_default_simulated_run(self):
+        report = GinFlow().run(diamond_workflow(2, 2, duration=0.1), nodes=5)
+        assert report.succeeded and report.mode == "simulated"
+
+    def test_mode_override_per_run(self):
+        ginflow = GinFlow()
+        assert ginflow.run(diamond_workflow(2, 1), mode="centralized").mode == "centralized"
+        assert ginflow.run(diamond_workflow(2, 1), mode="threaded").mode == "threaded"
+
+    def test_json_workflow_input(self):
+        from repro.workflow import workflow_to_json
+
+        text = workflow_to_json(diamond_workflow(2, 1))
+        report = GinFlow().run(text, nodes=5)
+        assert report.succeeded
+
+    def test_register_service(self):
+        ginflow = GinFlow()
+        ginflow.register_service("triple", lambda value: value * 3)
+        workflow = Workflow("w")
+        workflow.add_task(Task("A", "triple", inputs=[5]))
+        report = ginflow.run(workflow, mode="centralized")
+        assert report.results["A"] == 15
+
+    def test_centralized_adaptive(self):
+        report = GinFlow().run(adaptive_diamond_workflow(2, 2), mode="centralized")
+        assert report.succeeded
+        assert report.adaptations_triggered == 1
+
+    def test_all_modes_agree_on_results(self):
+        workflow = diamond_workflow(3, 2)
+        ginflow = GinFlow()
+        results = {}
+        for mode in ("simulated", "threaded", "centralized"):
+            report = ginflow.run(workflow, mode=mode, nodes=5)
+            assert report.succeeded, mode
+            results[mode] = report.results["merge"]
+        assert len(set(results.values())) == 1
+
+    def test_all_modes_agree_on_adaptive_results(self):
+        workflow = adaptive_diamond_workflow(2, 2)
+        ginflow = GinFlow()
+        for mode in ("simulated", "threaded", "centralized"):
+            report = ginflow.run(workflow, mode=mode, nodes=5)
+            assert report.succeeded, mode
+            assert report.tasks["R_2_2"].result == "R_2_2-out", mode

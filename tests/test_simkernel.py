@@ -1,0 +1,267 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.simkernel import (
+    Event,
+    Interrupt,
+    RandomStreams,
+    Resource,
+    SerialQueue,
+    Simulator,
+    Store,
+)
+
+
+class TestSimulatorBasics:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_timeout_advances_clock(self):
+        sim = Simulator()
+        sim.timeout(5.0)
+        sim.run()
+        assert sim.now == 5.0
+
+    def test_call_in_order(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(2.0, lambda: seen.append("b"))
+        sim.call_in(1.0, lambda: seen.append("a"))
+        sim.run()
+        assert seen == ["a", "b"]
+
+    def test_same_time_fifo(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(1.0, lambda: seen.append(1))
+        sim.call_in(1.0, lambda: seen.append(2))
+        sim.run()
+        assert seen == [1, 2]
+
+    def test_call_at_past_rejected(self):
+        sim = Simulator()
+        sim.call_in(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.call_at(0.5, lambda: None)
+
+    def test_run_until_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.call_in(1.0, lambda: seen.append(1))
+        sim.call_in(10.0, lambda: seen.append(2))
+        sim.run(until=5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        for _ in range(10):
+            sim.call_in(1.0, lambda: None)
+        sim.run(max_events=3)
+        assert sim.processed_events == 3
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().timeout(-1.0)
+
+
+class TestEvents:
+    def test_succeed_runs_callbacks(self):
+        sim = Simulator()
+        event = sim.event()
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        event.succeed(42)
+        sim.run()
+        assert seen == [42]
+
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(1)
+        with pytest.raises(RuntimeError):
+            event.succeed(2)
+
+    def test_callback_after_trigger_runs_immediately(self):
+        sim = Simulator()
+        event = sim.event()
+        event.succeed(7)
+        seen = []
+        event.add_callback(lambda e: seen.append(e.value))
+        assert seen == [7]
+
+    def test_all_of(self):
+        sim = Simulator()
+        a, b = sim.timeout(1.0, "a"), sim.timeout(2.0, "b")
+        combined = sim.all_of([a, b])
+        sim.run()
+        assert combined.triggered
+        assert combined.value == ["a", "b"]
+
+    def test_any_of(self):
+        sim = Simulator()
+        combined = sim.any_of([sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+        sim.run()
+        assert combined.value == "fast"
+
+    def test_all_of_empty(self):
+        sim = Simulator()
+        combined = sim.all_of([])
+        assert combined.triggered
+
+
+class TestProcesses:
+    def test_process_waits_on_timeouts(self):
+        sim = Simulator()
+        trace = []
+
+        def worker():
+            trace.append(("start", sim.now))
+            yield sim.timeout(3.0)
+            trace.append(("middle", sim.now))
+            yield sim.timeout(2.0)
+            trace.append(("end", sim.now))
+            return "done"
+
+        process = sim.process(worker())
+        sim.run()
+        assert trace == [("start", 0.0), ("middle", 3.0), ("end", 5.0)]
+        assert process.value == "done"
+
+    def test_process_waits_on_process(self):
+        sim = Simulator()
+
+        def child():
+            yield sim.timeout(2.0)
+            return 7
+
+        def parent():
+            value = yield sim.process(child())
+            return value + 1
+
+        parent_process = sim.process(parent())
+        sim.run()
+        assert parent_process.value == 8
+
+    def test_interrupt(self):
+        sim = Simulator()
+        outcome = []
+
+        def worker():
+            try:
+                yield sim.timeout(100.0)
+                outcome.append("finished")
+            except Interrupt as interrupt:
+                outcome.append(("interrupted", interrupt.cause, sim.now))
+
+        process = sim.process(worker())
+        sim.call_in(1.0, lambda: process.interrupt("crash"))
+        sim.run()
+        assert outcome == [("interrupted", "crash", 1.0)]
+
+    def test_yield_non_event_raises(self):
+        sim = Simulator()
+
+        def bad():
+            yield 42
+
+        sim.process(bad())
+        with pytest.raises(TypeError):
+            sim.run()
+
+
+class TestStoreAndResource:
+    def test_store_fifo(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put("a")
+        store.put("b")
+        values = []
+        store.get().add_callback(lambda e: values.append(e.value))
+        store.get().add_callback(lambda e: values.append(e.value))
+        sim.run()
+        assert values == ["a", "b"]
+
+    def test_store_get_before_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        values = []
+        store.get().add_callback(lambda e: values.append(e.value))
+        store.put("later")
+        sim.run()
+        assert values == ["later"]
+
+    def test_store_try_get(self):
+        sim = Simulator()
+        store = Store(sim)
+        assert store.try_get() is None
+        store.put(1)
+        assert store.try_get() == 1
+
+    def test_resource_capacity(self):
+        sim = Simulator()
+        resource = Resource(sim, capacity=1)
+        order = []
+        resource.acquire().add_callback(lambda e: order.append("first"))
+        resource.acquire().add_callback(lambda e: order.append("second"))
+        sim.run()
+        assert order == ["first"]
+        resource.release()
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_resource_release_without_acquire(self):
+        with pytest.raises(RuntimeError):
+            Resource(Simulator(), capacity=1).release()
+
+    def test_resource_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), capacity=0)
+
+    def test_serial_queue_serialises_work(self):
+        sim = Simulator()
+        queue = SerialQueue(sim)
+        finishes = []
+        queue.submit(2.0).add_callback(lambda e: finishes.append(sim.now))
+        queue.submit(3.0).add_callback(lambda e: finishes.append(sim.now))
+        sim.run()
+        assert finishes == [2.0, 5.0]
+        assert queue.processed == 2
+        assert queue.busy_time == 5.0
+
+    def test_serial_queue_backlog(self):
+        sim = Simulator()
+        queue = SerialQueue(sim)
+        queue.submit(4.0)
+        assert queue.backlog == 4.0
+
+    def test_serial_queue_negative_work_rejected(self):
+        with pytest.raises(ValueError):
+            SerialQueue(Simulator()).submit(-1.0)
+
+
+class TestRandomStreams:
+    def test_streams_reproducible(self):
+        a = RandomStreams(42).stream("x").random(5).tolist()
+        b = RandomStreams(42).stream("x").random(5).tolist()
+        assert a == b
+
+    def test_streams_independent_by_label(self):
+        streams = RandomStreams(42)
+        assert streams.stream("a").random(3).tolist() != streams.stream("b").random(3).tolist()
+
+    def test_bernoulli_extremes(self):
+        streams = RandomStreams(1)
+        assert not streams.bernoulli("x", 0.0)
+        assert streams.bernoulli("y", 0.999999)
+
+    def test_uniform_bounds(self):
+        value = RandomStreams(3).uniform("u", 2.0, 4.0)
+        assert 2.0 <= value <= 4.0
+
+    def test_spawn_changes_draws(self):
+        parent = RandomStreams(7)
+        child = parent.spawn("child")
+        assert parent.stream("x").random(3).tolist() != child.stream("x").random(3).tolist()

@@ -1,0 +1,392 @@
+"""Unit tests for the workflow model: DAG, adaptation specs, generators, JSON."""
+
+import json
+
+import pytest
+
+from repro.workflow import (
+    AdaptationSpec,
+    AdaptationValidationError,
+    JSONFormatError,
+    MONTAGE_PARALLEL_WIDTH,
+    MONTAGE_TASK_COUNT,
+    Task,
+    Workflow,
+    WorkflowValidationError,
+    adaptive_diamond_workflow,
+    diamond_workflow,
+    duration_cdf,
+    duration_classes,
+    merge_workflow,
+    montage_workflow,
+    parallel_workflow,
+    sequence_workflow,
+    split_workflow,
+    workflow_from_dict,
+    workflow_from_json,
+    workflow_to_dict,
+    workflow_to_json,
+)
+
+
+class TestTask:
+    def test_requires_name_and_service(self):
+        with pytest.raises(WorkflowValidationError):
+            Task("", "svc")
+        with pytest.raises(WorkflowValidationError):
+            Task("T1", "")
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(WorkflowValidationError):
+            Task("T1", "svc", duration=-1)
+
+    def test_copy_is_independent(self):
+        task = Task("T1", "svc", inputs=[1], metadata={"a": 1})
+        clone = task.copy()
+        clone.inputs.append(2)
+        clone.metadata["b"] = 2
+        assert task.inputs == [1]
+        assert "b" not in task.metadata
+
+
+class TestWorkflowStructure:
+    def build(self):
+        workflow = Workflow("w")
+        for name in ("A", "B", "C", "D"):
+            workflow.add_task(name, service="svc")
+        workflow.add_dependency("A", "B")
+        workflow.add_dependency("A", "C")
+        workflow.add_dependency("B", "D")
+        workflow.add_dependency("C", "D")
+        return workflow
+
+    def test_add_task_by_name(self):
+        workflow = Workflow("w")
+        task = workflow.add_task("T1", service="svc", duration=2.0)
+        assert task.duration == 2.0
+
+    def test_duplicate_task_rejected(self):
+        workflow = Workflow("w")
+        workflow.add_task("T1", service="svc")
+        with pytest.raises(WorkflowValidationError):
+            workflow.add_task("T1", service="svc")
+
+    def test_dependency_unknown_task(self):
+        workflow = Workflow("w")
+        workflow.add_task("T1", service="svc")
+        with pytest.raises(WorkflowValidationError):
+            workflow.add_dependency("T1", "T2")
+
+    def test_self_dependency_rejected(self):
+        workflow = Workflow("w")
+        workflow.add_task("T1", service="svc")
+        with pytest.raises(WorkflowValidationError):
+            workflow.add_dependency("T1", "T1")
+
+    def test_dependency_idempotent(self):
+        workflow = self.build()
+        workflow.add_dependency("A", "B")
+        assert workflow.dependencies().count(("A", "B")) == 1
+
+    def test_predecessors_successors(self):
+        workflow = self.build()
+        assert set(workflow.successors("A")) == {"B", "C"}
+        assert set(workflow.predecessors("D")) == {"B", "C"}
+
+    def test_entry_and_exit(self):
+        workflow = self.build()
+        assert workflow.entry_tasks() == ["A"]
+        assert workflow.exit_tasks() == ["D"]
+
+    def test_topological_order(self):
+        order = self.build().topological_order()
+        assert order.index("A") < order.index("B") < order.index("D")
+
+    def test_levels(self):
+        levels = self.build().levels()
+        assert [len(level) for level in levels] == [1, 2, 1]
+
+    def test_cycle_detection(self):
+        workflow = self.build()
+        workflow._successors["D"].append("A")  # force a cycle
+        workflow._predecessors["A"].append("D")
+        with pytest.raises(WorkflowValidationError):
+            workflow.validate()
+
+    def test_empty_workflow_invalid(self):
+        with pytest.raises(WorkflowValidationError):
+            Workflow("w").validate()
+
+    def test_chain_helper(self):
+        workflow = Workflow("w")
+        for name in ("A", "B", "C"):
+            workflow.add_task(name, service="svc")
+        workflow.chain("A", "B", "C")
+        assert workflow.dependencies() == [("A", "B"), ("B", "C")]
+
+    def test_remove_task_cleans_dependencies(self):
+        workflow = self.build()
+        workflow.remove_task("B")
+        assert "B" not in workflow
+        assert ("A", "B") not in workflow.dependencies()
+        assert set(workflow.predecessors("D")) == {"C"}
+
+    def test_critical_path_and_total_work(self):
+        workflow = Workflow("w")
+        workflow.add_task("A", service="svc", duration=1.0)
+        workflow.add_task("B", service="svc", duration=2.0)
+        workflow.add_task("C", service="svc", duration=4.0)
+        workflow.add_dependency("A", "B")
+        workflow.add_dependency("A", "C")
+        assert workflow.critical_path_length() == 5.0
+        assert workflow.total_work() == 7.0
+
+    def test_subgraph(self):
+        sub = self.build().subgraph(["A", "B"])
+        assert set(sub.task_names()) == {"A", "B"}
+        assert sub.dependencies() == [("A", "B")]
+
+    def test_copy_preserves_everything(self):
+        workflow = adaptive_diamond_workflow(2, 2)
+        clone = workflow.copy()
+        assert set(clone.task_names()) == set(workflow.task_names())
+        assert len(clone.adaptations) == 1
+        clone.remove_task("merge")
+        assert "merge" in workflow
+
+    def test_unknown_task_lookup(self):
+        with pytest.raises(WorkflowValidationError):
+            self.build().task("Z")
+
+
+class TestAdaptationSpecValidation:
+    def base_workflow(self):
+        workflow = Workflow("w")
+        for name in ("A", "B", "C", "D"):
+            workflow.add_task(name, service="svc")
+        workflow.chain("A", "B", "C", "D")
+        return workflow
+
+    def replacement(self, names=("R1",)):
+        replacement = Workflow("r")
+        previous = None
+        for name in names:
+            replacement.add_task(name, service="svc")
+            if previous:
+                replacement.add_dependency(previous, name)
+            previous = name
+        return replacement
+
+    def test_valid_spec(self):
+        workflow = self.base_workflow()
+        spec = AdaptationSpec("a", ["B"], self.replacement(), entry_sources={"R1": ["A"]})
+        spec.validate(workflow)
+        assert spec.destination(workflow) == "C"
+        assert spec.region_sources(workflow) == ["A"]
+
+    def test_empty_region_rejected(self):
+        with pytest.raises(AdaptationValidationError):
+            AdaptationSpec("a", [], self.replacement()).validate(self.base_workflow())
+
+    def test_unknown_replaced_task(self):
+        with pytest.raises(AdaptationValidationError):
+            AdaptationSpec("a", ["Z"], self.replacement()).validate(self.base_workflow())
+
+    def test_name_collision_rejected(self):
+        workflow = self.base_workflow()
+        replacement = self.replacement(names=("A",))  # collides
+        with pytest.raises(AdaptationValidationError):
+            AdaptationSpec("a", ["B"], replacement, entry_sources={"A": ["A"]}).validate(workflow)
+
+    def test_multiple_destinations_rejected(self):
+        # Fig. 9(c): a region with several outside successors is invalid
+        workflow = Workflow("w")
+        for name in ("A", "B", "C", "D"):
+            workflow.add_task(name, service="svc")
+        workflow.add_dependency("A", "B")
+        workflow.add_dependency("B", "C")
+        workflow.add_dependency("B", "D")
+        spec = AdaptationSpec("a", ["B"], self.replacement(), entry_sources={"R1": ["A"]})
+        with pytest.raises(AdaptationValidationError):
+            spec.validate(workflow)
+
+    def test_entry_source_not_a_region_source(self):
+        workflow = self.base_workflow()
+        spec = AdaptationSpec("a", ["B"], self.replacement(), entry_sources={"R1": ["D"]})
+        with pytest.raises(AdaptationValidationError):
+            spec.validate(workflow)
+
+    def test_entry_without_sources_or_inputs_rejected(self):
+        workflow = self.base_workflow()
+        spec = AdaptationSpec("a", ["B"], self.replacement())
+        with pytest.raises(AdaptationValidationError):
+            spec.validate(workflow)
+
+    def test_trigger_outside_region_rejected(self):
+        workflow = self.base_workflow()
+        spec = AdaptationSpec(
+            "a", ["B"], self.replacement(), entry_sources={"R1": ["A"]}, trigger_on=["C"]
+        )
+        with pytest.raises(AdaptationValidationError):
+            spec.validate(workflow)
+
+    def test_overlapping_adaptations_rejected(self):
+        workflow = self.base_workflow()
+        first = AdaptationSpec("a1", ["B"], self.replacement(("R1",)), entry_sources={"R1": ["A"]})
+        second = AdaptationSpec("a2", ["B"], self.replacement(("R2",)), entry_sources={"R2": ["A"]})
+        workflow.add_adaptation(first)
+        with pytest.raises(WorkflowValidationError):
+            workflow.add_adaptation(second)
+
+    def test_disjoint_adaptations_accepted(self):
+        workflow = Workflow("w")
+        for name in ("A", "B", "C", "D", "E"):
+            workflow.add_task(name, service="svc")
+        workflow.chain("A", "B", "C", "D", "E")
+        workflow.add_adaptation(
+            AdaptationSpec("a1", ["B"], self.replacement(("R1",)), entry_sources={"R1": ["A"]})
+        )
+        workflow.add_adaptation(
+            AdaptationSpec("a2", ["D"], self.replacement(("R2",)), entry_sources={"R2": ["C"]})
+        )
+        assert len(workflow.adaptations) == 2
+
+    def test_copy(self):
+        spec = AdaptationSpec("a", ["B"], self.replacement(), entry_sources={"R1": ["A"]})
+        clone = spec.copy()
+        clone.replaced.append("X")
+        assert spec.replaced == ["B"]
+
+
+class TestGenerators:
+    def test_sequence(self):
+        workflow = sequence_workflow(5)
+        workflow.validate()
+        assert len(workflow) == 5
+        assert len(workflow.levels()) == 5
+
+    def test_sequence_requires_positive_length(self):
+        with pytest.raises(WorkflowValidationError):
+            sequence_workflow(0)
+
+    def test_parallel(self):
+        workflow = parallel_workflow(4)
+        assert len(workflow) == 6
+        assert [len(level) for level in workflow.levels()] == [1, 4, 1]
+
+    def test_split_and_merge(self):
+        assert len(split_workflow(3)) == 4
+        assert len(merge_workflow(3)) == 4
+
+    def test_diamond_simple_counts(self):
+        workflow = diamond_workflow(4, 3, "simple")
+        workflow.validate()
+        assert len(workflow) == 4 * 3 + 2
+        # simple: 4 split edges + 4*2 chain edges + 4 merge edges
+        assert len(workflow.dependencies()) == 4 + 8 + 4
+
+    def test_diamond_full_counts(self):
+        workflow = diamond_workflow(4, 3, "full")
+        assert len(workflow.dependencies()) == 4 + 4 * 4 * 2 + 4
+
+    def test_diamond_rejects_unknown_connectivity(self):
+        with pytest.raises(WorkflowValidationError):
+            diamond_workflow(2, 2, "star")
+
+    def test_adaptive_diamond_error_task_and_spec(self):
+        workflow = adaptive_diamond_workflow(3, 2, "simple", "full")
+        workflow.validate()
+        assert workflow.task("T_2_3").metadata.get("force_error")
+        spec = workflow.adaptations[0]
+        assert len(spec.replaced) == 6
+        assert spec.destination(workflow) == "merge"
+        assert set(spec.entry_sources) == {"R_1_1", "R_1_2", "R_1_3"}
+
+    def test_diamond_1x1(self):
+        workflow = diamond_workflow(1, 1)
+        assert len(workflow) == 3
+
+
+class TestMontage:
+    def test_counts(self):
+        workflow = montage_workflow()
+        assert len(workflow) == MONTAGE_TASK_COUNT == 118
+        assert max(len(level) for level in workflow.levels()) == MONTAGE_PARALLEL_WIDTH == 108
+
+    def test_duration_classes(self):
+        classes = duration_classes(montage_workflow())
+        assert sum(classes.values()) == 118
+        assert classes["60<T"] >= 100
+
+    def test_durations_deterministic_per_seed(self):
+        first = [task.duration for task in montage_workflow(seed=7)]
+        second = [task.duration for task in montage_workflow(seed=7)]
+        assert first == second
+        other = [task.duration for task in montage_workflow(seed=8)]
+        assert first != other
+
+    def test_critical_path_close_to_baseline(self):
+        assert 450 <= montage_workflow().critical_path_length() <= 520
+
+    def test_duration_scale(self):
+        scaled = montage_workflow(duration_scale=0.01)
+        assert scaled.critical_path_length() < 10
+
+    def test_cdf_monotone(self):
+        durations, fractions = duration_cdf(montage_workflow())
+        assert list(durations) == sorted(durations)
+        assert fractions[-1] == 1.0
+
+    def test_all_tasks_idempotent(self):
+        assert all(task.metadata.get("idempotent") for task in montage_workflow())
+
+
+class TestJSONFormat:
+    def test_roundtrip_plain(self):
+        workflow = diamond_workflow(2, 2)
+        clone = workflow_from_json(workflow_to_json(workflow))
+        assert set(clone.task_names()) == set(workflow.task_names())
+        assert sorted(clone.dependencies()) == sorted(workflow.dependencies())
+
+    def test_roundtrip_adaptive(self):
+        workflow = adaptive_diamond_workflow(2, 2)
+        clone = workflow_from_json(workflow_to_json(workflow))
+        assert len(clone.adaptations) == 1
+        assert clone.adaptations[0].replaced == workflow.adaptations[0].replaced
+
+    def test_from_dict(self):
+        document = workflow_to_dict(sequence_workflow(3))
+        clone = workflow_from_dict(document)
+        assert len(clone) == 3
+
+    def test_missing_tasks_key(self):
+        with pytest.raises(JSONFormatError):
+            workflow_from_dict({"name": "x"})
+
+    def test_missing_service(self):
+        with pytest.raises(JSONFormatError):
+            workflow_from_dict({"name": "x", "tasks": [{"name": "T1"}]})
+
+    def test_invalid_json_text(self):
+        with pytest.raises(JSONFormatError):
+            workflow_from_json("{not json")
+
+    def test_missing_file(self):
+        with pytest.raises(JSONFormatError):
+            workflow_from_json("does-not-exist.json")
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "wf.json"
+        workflow_to_json(diamond_workflow(2, 1), path)
+        clone = workflow_from_json(str(path))
+        assert len(clone) == 4
+
+    def test_durations_and_metadata_preserved(self):
+        workflow = montage_workflow()
+        clone = workflow_from_json(workflow_to_json(workflow))
+        assert clone.task("mProject_1").duration == workflow.task("mProject_1").duration
+        assert clone.task("mAdd").metadata["stage"] == "merge"
+
+    def test_json_is_valid_json(self):
+        text = workflow_to_json(sequence_workflow(2))
+        assert json.loads(text)["tasks"]
