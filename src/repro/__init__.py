@@ -17,8 +17,13 @@ stack described in the paper:
 * :mod:`repro.agents` — service agents, the shared-space coordinator and the
   fault-recovery mechanism,
 * :mod:`repro.executors` — centralised, SSH-like and Mesos-like executors,
-* :mod:`repro.runtime` — the GinFlow facade tying everything together,
-* :mod:`repro.bench` — drivers reproducing every figure of the evaluation.
+* :mod:`repro.runtime` — the GinFlow facade, the run configuration and the
+  pluggable backend registry (runtimes, executors, brokers, cluster presets
+  all resolve by name through :mod:`repro.runtime.backends`),
+* :mod:`repro.experiments` — the first-class Experiment/Sweep API
+  (:class:`ParameterGrid`, :class:`Experiment`, :class:`SweepReport`),
+* :mod:`repro.bench` — drivers reproducing every figure of the evaluation,
+  each a thin grid declaration over ``GinFlow.sweep``.
 
 Quickstart
 ----------
@@ -27,6 +32,27 @@ Quickstart
 >>> report = ginflow.run(diamond_workflow(width=3, depth=2))
 >>> report.succeeded
 True
+
+Sweeps
+------
+>>> from repro import GinFlow, ParameterGrid, diamond_workflow
+>>> grid = ParameterGrid({"nodes": [5, 10], "broker": ["activemq", "kafka"]})
+>>> sweep = GinFlow().sweep(lambda: diamond_workflow(3, 3, duration=0.1), grid)
+>>> len(sweep.cells())
+4
+
+Extending
+---------
+Register third-party backends (runtimes, executors, brokers, cluster
+presets) with the ``register_*`` decorators; they become valid ``GinFlowConfig``
+choices and CLI options immediately::
+
+    from repro import register_broker
+    from repro.messaging import BrokerProfile
+
+    @register_broker("inmemory", capabilities={"persistent": True})
+    def inmemory_profile(config):
+        return BrokerProfile("inmemory", 0.001, 0.01, persistent=True)
 """
 
 from __future__ import annotations
@@ -40,6 +66,21 @@ _FACADE = {
     "GinFlowConfig": ("repro.runtime.config", "GinFlowConfig"),
     "CostModel": ("repro.runtime.costs", "CostModel"),
     "RunReport": ("repro.runtime.results", "RunReport"),
+    "Experiment": ("repro.experiments", "Experiment"),
+    "ParameterGrid": ("repro.experiments", "ParameterGrid"),
+    "SweepReport": ("repro.experiments", "SweepReport"),
+    "Backend": ("repro.runtime.backends", "Backend"),
+    "BackendError": ("repro.runtime.backends", "BackendError"),
+    "BackendRegistry": ("repro.runtime.backends", "BackendRegistry"),
+    "register_runtime": ("repro.runtime.backends", "register_runtime"),
+    "register_executor": ("repro.runtime.backends", "register_executor"),
+    "register_broker": ("repro.runtime.backends", "register_broker"),
+    "register_cluster": ("repro.runtime.backends", "register_cluster"),
+    "available_runtimes": ("repro.runtime.backends", "available_runtimes"),
+    "available_executors": ("repro.runtime.backends", "available_executors"),
+    "available_brokers": ("repro.runtime.backends", "available_brokers"),
+    "available_clusters": ("repro.runtime.backends", "available_clusters"),
+    "BrokerProfile": ("repro.messaging.broker", "BrokerProfile"),
     "FailureModel": ("repro.services.faults", "FailureModel"),
     "ServiceRegistry": ("repro.services.service", "ServiceRegistry"),
     "Workflow": ("repro.workflow.dag", "Workflow"),

@@ -17,7 +17,8 @@ provides a ``format_table`` helper that prints the same rows the paper plots.
 from __future__ import annotations
 
 import os
-from typing import Any, Iterable, Sequence
+
+from repro.experiments.stats import format_table, mean, std
 
 __all__ = ["experiment_scale", "format_table", "mean", "std"]
 
@@ -29,48 +30,3 @@ def experiment_scale(explicit: str | None = None) -> str:
     if os.environ.get("GINFLOW_FULL", "").strip() in ("1", "true", "yes"):
         return "paper"
     return "small"
-
-
-def format_table(rows: Sequence[dict[str, Any]], columns: Sequence[str] | None = None, title: str = "") -> str:
-    """Render measurement rows as a fixed-width text table."""
-    if not rows:
-        return f"{title}\n(no data)" if title else "(no data)"
-    if columns is None:
-        columns = list(rows[0].keys())
-    widths = {column: len(column) for column in columns}
-    rendered_rows = []
-    for row in rows:
-        rendered = {}
-        for column in columns:
-            value = row.get(column, "")
-            if isinstance(value, float):
-                text = f"{value:.2f}"
-            else:
-                text = str(value)
-            rendered[column] = text
-            widths[column] = max(widths[column], len(text))
-        rendered_rows.append(rendered)
-    lines = []
-    if title:
-        lines.append(title)
-    header = "  ".join(column.ljust(widths[column]) for column in columns)
-    lines.append(header)
-    lines.append("  ".join("-" * widths[column] for column in columns))
-    for rendered in rendered_rows:
-        lines.append("  ".join(rendered[column].ljust(widths[column]) for column in columns))
-    return "\n".join(lines)
-
-
-def mean(values: Iterable[float]) -> float:
-    """Arithmetic mean (0.0 for an empty sequence)."""
-    values = list(values)
-    return sum(values) / len(values) if values else 0.0
-
-
-def std(values: Iterable[float]) -> float:
-    """Population standard deviation (0.0 for fewer than two samples)."""
-    values = list(values)
-    if len(values) < 2:
-        return 0.0
-    center = mean(values)
-    return (sum((value - center) ** 2 for value in values) / len(values)) ** 0.5

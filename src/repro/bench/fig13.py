@@ -13,18 +13,23 @@ workflow.  Three scenarios are studied:
 Expected shape: the ratio stays below ≈ 2 for simple→simple (adapting is
 cheaper than re-running the workflow from scratch), between ≈ 2 and 3 for
 simple→full, and constant-or-decreasing for full→simple.
+
+The driver is a :class:`~repro.experiments.ParameterGrid` declaration
+(scenario × size × variant) executed through :meth:`GinFlow.sweep`; the
+baseline/adaptive pairs are then joined into ratio rows.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.runtime import GinFlowConfig, run_simulation
+from repro.experiments import ParameterGrid
+from repro.runtime import GinFlow, GinFlowConfig
 from repro.workflow import adaptive_diamond_workflow, diamond_workflow
 
 from .common import experiment_scale, format_table
 
-__all__ = ["SCENARIOS", "SMALL_CONFIGURATIONS", "PAPER_CONFIGURATIONS", "run_fig13", "format_fig13"]
+__all__ = ["SCENARIOS", "SMALL_CONFIGURATIONS", "PAPER_CONFIGURATIONS", "fig13_grid", "run_fig13", "format_fig13"]
 
 #: The three replacement scenarios of the paper.
 SCENARIOS = (
@@ -32,6 +37,8 @@ SCENARIOS = (
     ("simple-to-full", "simple", "full"),
     ("full-to-simple", "full", "simple"),
 )
+
+_SCENARIO_CONNECTIVITY = {name: (body, replacement) for name, body, replacement in SCENARIOS}
 
 #: Reduced set of square configurations.
 SMALL_CONFIGURATIONS = (1, 6, 11)
@@ -42,37 +49,63 @@ PAPER_CONFIGURATIONS = (1, 6, 11, 16, 21)
 TASK_DURATION = 0.1
 
 
+def fig13_grid(scale: str | None = None) -> ParameterGrid:
+    """The Fig. 13 grid: scenario × size × (baseline, adaptive) variant."""
+    configurations = PAPER_CONFIGURATIONS if experiment_scale(scale) == "paper" else SMALL_CONFIGURATIONS
+    return ParameterGrid(
+        {
+            "scenario": [name for name, _, _ in SCENARIOS],
+            "size": configurations,
+            "variant": ["baseline", "adaptive"],
+        }
+    )
+
+
+def _fig13_workflow(scenario: str, size: int, variant: str):
+    body, replacement = _SCENARIO_CONNECTIVITY[scenario]
+    if variant == "baseline":
+        return diamond_workflow(size, size, connectivity=body, duration=TASK_DURATION)
+    return adaptive_diamond_workflow(
+        size, size, body_connectivity=body, replacement_connectivity=replacement, duration=TASK_DURATION
+    )
+
+
 def run_fig13(
     scale: str | None = None,
     nodes: int = 25,
     broker: str = "activemq",
     seed: int = 1,
+    workers: int | None = None,
 ) -> list[dict[str, Any]]:
     """Run the Fig. 13 sweep; one row per (scenario, configuration)."""
-    configurations = PAPER_CONFIGURATIONS if experiment_scale(scale) == "paper" else SMALL_CONFIGURATIONS
     config = GinFlowConfig(nodes=nodes, executor="ssh", broker=broker, seed=seed, collect_timeline=False)
+    report = GinFlow(config).sweep(
+        _fig13_workflow, fig13_grid(scale), name="fig13", workers=workers
+    )
+    # Join each (scenario, size) baseline/adaptive pair into one ratio row.
+    by_point: dict[tuple[str, int], dict[str, Any]] = {}
+    for run in report.rows:
+        by_point.setdefault((run["scenario"], run["size"]), {})[run["variant"]] = run
     rows: list[dict[str, Any]] = []
-    for scenario, body, replacement in SCENARIOS:
-        for size in configurations:
-            baseline_workflow = diamond_workflow(size, size, connectivity=body, duration=TASK_DURATION)
-            baseline = run_simulation(baseline_workflow, config)
-            adaptive_workflow = adaptive_diamond_workflow(
-                size, size, body_connectivity=body, replacement_connectivity=replacement, duration=TASK_DURATION
-            )
-            adaptive = run_simulation(adaptive_workflow, config)
-            ratio = adaptive.execution_time / baseline.execution_time if baseline.execution_time else float("nan")
-            rows.append(
-                {
-                    "scenario": scenario,
-                    "configuration": f"{size}x{size}",
-                    "size": size,
-                    "baseline_time": baseline.execution_time,
-                    "adaptive_time": adaptive.execution_time,
-                    "ratio": ratio,
-                    "adaptations_triggered": adaptive.adaptations_triggered,
-                    "succeeded": adaptive.succeeded and baseline.succeeded,
-                }
-            )
+    for (scenario, size), pair in by_point.items():
+        baseline, adaptive = pair["baseline"], pair["adaptive"]
+        ratio = (
+            adaptive["execution_time"] / baseline["execution_time"]
+            if baseline["execution_time"]
+            else float("nan")
+        )
+        rows.append(
+            {
+                "scenario": scenario,
+                "configuration": f"{size}x{size}",
+                "size": size,
+                "baseline_time": baseline["execution_time"],
+                "adaptive_time": adaptive["execution_time"],
+                "ratio": ratio,
+                "adaptations_triggered": adaptive["adaptations"],
+                "succeeded": adaptive["succeeded"] and baseline["succeeded"],
+            }
+        )
     return rows
 
 

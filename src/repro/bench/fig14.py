@@ -11,18 +11,23 @@ executor (SSH, Mesos) and messaging middleware (ActiveMQ, Kafka) on 5, 10 and
   offer round);
 * execution time barely depends on the executor but strongly on the broker:
   Kafka runs ≈ 4× slower than ActiveMQ.
+
+The driver is a :class:`~repro.experiments.ParameterGrid` declaration
+(executor × broker × nodes, with repeats) executed through
+:meth:`GinFlow.sweep` and aggregated per cell.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.runtime import GinFlowConfig, run_simulation
+from repro.experiments import ParameterGrid
+from repro.runtime import GinFlow, GinFlowConfig
 from repro.workflow import diamond_workflow
 
-from .common import experiment_scale, format_table, mean
+from .common import experiment_scale, format_table
 
-__all__ = ["NODE_COUNTS", "COMBINATIONS", "run_fig14", "format_fig14"]
+__all__ = ["NODE_COUNTS", "COMBINATIONS", "fig14_grid", "run_fig14", "format_fig14"]
 
 #: Node counts of the Fig. 14 x-axis.
 NODE_COUNTS = (5, 10, 15)
@@ -39,42 +44,46 @@ DIAMOND_SIZE = 10
 TASK_DURATION = 0.1
 
 
+def fig14_grid() -> ParameterGrid:
+    """The Fig. 14 grid: the paper's (executor, broker) pairs × node count."""
+    return ParameterGrid(
+        [
+            {"executor": [executor], "broker": [broker], "nodes": NODE_COUNTS}
+            for executor, broker in COMBINATIONS
+        ]
+    )
+
+
+def _fig14_workflow():
+    return diamond_workflow(DIAMOND_SIZE, DIAMOND_SIZE, connectivity="simple", duration=TASK_DURATION)
+
+
 def run_fig14(
     scale: str | None = None,
     repetitions: int | None = None,
     seed: int = 1,
+    workers: int | None = None,
 ) -> list[dict[str, Any]]:
     """Run the Fig. 14 grid; one row per (executor, broker, node count)."""
     if repetitions is None:
         repetitions = 10 if experiment_scale(scale) == "paper" else 2
-    workflow = diamond_workflow(DIAMOND_SIZE, DIAMOND_SIZE, connectivity="simple", duration=TASK_DURATION)
+    config = GinFlowConfig(seed=seed, collect_timeline=False)
+    report = GinFlow(config).sweep(
+        _fig14_workflow, fig14_grid(), repeats=repetitions, name="fig14", workers=workers
+    )
     rows: list[dict[str, Any]] = []
-    for executor, broker in COMBINATIONS:
-        for nodes in NODE_COUNTS:
-            deployments: list[float] = []
-            executions: list[float] = []
-            for repetition in range(repetitions):
-                config = GinFlowConfig(
-                    nodes=nodes,
-                    executor=executor,
-                    broker=broker,
-                    seed=seed + repetition,
-                    collect_timeline=False,
-                )
-                report = run_simulation(workflow, config)
-                deployments.append(report.deployment_time)
-                executions.append(report.execution_time)
-            rows.append(
-                {
-                    "executor": executor,
-                    "broker": broker,
-                    "nodes": nodes,
-                    "deployment_time": mean(deployments),
-                    "execution_time": mean(executions),
-                    "total_time": mean(deployments) + mean(executions),
-                    "repetitions": repetitions,
-                }
-            )
+    for cell in report.cells(metrics=("deployment_time", "execution_time")):
+        rows.append(
+            {
+                "executor": cell["executor"],
+                "broker": cell["broker"],
+                "nodes": cell["nodes"],
+                "deployment_time": cell["deployment_time_mean"],
+                "execution_time": cell["execution_time_mean"],
+                "total_time": cell["deployment_time_mean"] + cell["execution_time_mean"],
+                "repetitions": cell["runs"],
+            }
+        )
     return rows
 
 

@@ -7,7 +7,10 @@ distribution of task durations, annotated with three duration classes
 (``T < 20``, ``20 < T < 60``, ``60 < T``).
 
 This harness regenerates both: the per-level width profile of the generated
-workflow and its duration CDF / class counts.
+workflow and its duration CDF / class counts.  Like the other drivers it is
+a :class:`~repro.experiments.ParameterGrid` declaration executed through
+:meth:`GinFlow.sweep` — with a custom *runner* that characterises the
+workload instead of executing it (Fig. 15 measures the workflow, not a run).
 """
 
 from __future__ import annotations
@@ -16,16 +19,28 @@ from typing import Any
 
 import numpy as np
 
+from repro.experiments import ParameterGrid
+from repro.runtime import GinFlow
 from repro.workflow import duration_cdf, duration_classes, montage_workflow
 
 from .common import format_table
 
-__all__ = ["run_fig15", "format_fig15"]
+__all__ = ["fig15_grid", "run_fig15", "format_fig15"]
 
 
-def run_fig15(seed: int = 1) -> dict[str, Any]:
-    """Build the Montage workload and compute its Fig. 15 characterisation."""
-    workflow = montage_workflow(seed=seed)
+def fig15_grid(seed: int = 1) -> ParameterGrid:
+    """The (degenerate) Fig. 15 grid: one Montage workload per seed."""
+    # "workload_seed" (not "seed") so the value routes to the workflow
+    # factory rather than to the run configuration.
+    return ParameterGrid({"workload_seed": [seed]})
+
+
+def _fig15_workflow(workload_seed: int):
+    return montage_workflow(seed=workload_seed)
+
+
+def _characterize(workflow, config, cell) -> dict[str, Any]:
+    """Custom sweep runner: measure the workload itself (no execution)."""
     durations, fractions = duration_cdf(workflow)
     classes = duration_classes(workflow)
     levels = workflow.levels()
@@ -43,6 +58,14 @@ def run_fig15(seed: int = 1) -> dict[str, Any]:
         "critical_path": workflow.critical_path_length(),
         "cdf": cdf_points,
     }
+
+
+def run_fig15(seed: int = 1) -> dict[str, Any]:
+    """Build the Montage workload and compute its Fig. 15 characterisation."""
+    report = GinFlow().sweep(
+        _fig15_workflow, fig15_grid(seed), name="fig15", runner=_characterize
+    )
+    return report.rows[0]
 
 
 def format_fig15(data: dict[str, Any]) -> str:

@@ -15,19 +15,24 @@ Expected shape:
   failure, with a larger spread;
 * ``T = 100`` only hits the long projection tasks but loses 100 s per
   failure, so the overhead dominates at high ``p``.
+
+The driver is a :class:`~repro.experiments.ParameterGrid` declaration
+(failure delay × failure probability, with repeats) executed through
+:meth:`GinFlow.sweep`; the ``failure_probability`` / ``failure_delay`` cell
+keys build the per-cell :class:`~repro.services.FailureModel` automatically.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.runtime import GinFlowConfig, run_simulation
-from repro.services import FailureModel
+from repro.experiments import ParameterGrid
+from repro.runtime import GinFlow, GinFlowConfig
 from repro.workflow import montage_workflow
 
-from .common import experiment_scale, format_table, mean, std
+from .common import experiment_scale, format_table
 
-__all__ = ["PROBABILITIES", "DELAYS", "run_fig16", "run_fig16_baseline", "format_fig16"]
+__all__ = ["PROBABILITIES", "DELAYS", "fig16_grid", "run_fig16", "run_fig16_baseline", "format_fig16"]
 
 #: Failure probabilities of the paper.
 PROBABILITIES = (0.2, 0.5, 0.8)
@@ -36,16 +41,29 @@ PROBABILITIES = (0.2, 0.5, 0.8)
 DELAYS = (0.0, 15.0, 100.0)
 
 
-def run_fig16_baseline(repetitions: int = 3, seed: int = 1) -> dict[str, Any]:
+def fig16_grid(
+    probabilities: tuple[float, ...] = PROBABILITIES,
+    delays: tuple[float, ...] = DELAYS,
+) -> ParameterGrid:
+    """The Fig. 16 grid: failure delay (outer) × failure probability."""
+    return ParameterGrid({"failure_delay": delays, "failure_probability": probabilities})
+
+
+def _fig16_config(seed: int) -> GinFlowConfig:
+    return GinFlowConfig(nodes=25, executor="mesos", broker="kafka", seed=seed, collect_timeline=False)
+
+
+def run_fig16_baseline(repetitions: int = 3, seed: int = 1, workers: int | None = None) -> dict[str, Any]:
     """The no-failure reference execution (the dashed line of Fig. 16)."""
-    times = []
-    for repetition in range(repetitions):
-        config = GinFlowConfig(
-            nodes=25, executor="mesos", broker="kafka", seed=seed + repetition, collect_timeline=False
-        )
-        report = run_simulation(montage_workflow(seed=seed), config)
-        times.append(report.execution_time)
-    return {"mean": mean(times), "std": std(times), "repetitions": repetitions}
+    report = GinFlow(_fig16_config(seed)).sweep(
+        lambda: montage_workflow(seed=seed),
+        ParameterGrid({}),
+        repeats=repetitions,
+        name="fig16-baseline",
+        workers=workers,
+    )
+    cell = report.cells(metrics=("execution_time",))[0]
+    return {"mean": cell["execution_time_mean"], "std": cell["execution_time_std"], "repetitions": cell["runs"]}
 
 
 def run_fig16(
@@ -54,41 +72,31 @@ def run_fig16(
     probabilities: tuple[float, ...] = PROBABILITIES,
     delays: tuple[float, ...] = DELAYS,
     seed: int = 1,
+    workers: int | None = None,
 ) -> list[dict[str, Any]]:
     """Run the Fig. 16 failure sweep; one row per (T, p) cell."""
     if repetitions is None:
         repetitions = 10 if experiment_scale(scale) == "paper" else 2
-    workflow = montage_workflow(seed=seed)
+    report = GinFlow(_fig16_config(seed)).sweep(
+        lambda: montage_workflow(seed=seed),
+        fig16_grid(probabilities, delays),
+        repeats=repetitions,
+        name="fig16",
+        workers=workers,
+    )
     rows: list[dict[str, Any]] = []
-    for delay in delays:
-        for probability in probabilities:
-            times: list[float] = []
-            failures: list[float] = []
-            recoveries: list[float] = []
-            for repetition in range(repetitions):
-                config = GinFlowConfig(
-                    nodes=25,
-                    executor="mesos",
-                    broker="kafka",
-                    seed=seed + 100 * repetition + int(probability * 10) + int(delay),
-                    failures=FailureModel(probability=probability, delay=delay),
-                    collect_timeline=False,
-                )
-                report = run_simulation(workflow, config)
-                times.append(report.execution_time)
-                failures.append(report.failures_injected)
-                recoveries.append(report.recoveries)
-            rows.append(
-                {
-                    "T": delay,
-                    "p": probability,
-                    "execution_time": mean(times),
-                    "execution_time_std": std(times),
-                    "failures": mean(failures),
-                    "recoveries": mean(recoveries),
-                    "repetitions": repetitions,
-                }
-            )
+    for cell in report.cells(metrics=("execution_time", "failures", "recoveries")):
+        rows.append(
+            {
+                "T": cell["failure_delay"],
+                "p": cell["failure_probability"],
+                "execution_time": cell["execution_time_mean"],
+                "execution_time_std": cell["execution_time_std"],
+                "failures": cell["failures_mean"],
+                "recoveries": cell["recoveries_mean"],
+                "repetitions": cell["runs"],
+            }
+        )
     return rows
 
 

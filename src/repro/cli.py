@@ -3,12 +3,19 @@
 Usage::
 
     ginflow run workflow.json --mode simulated --executor mesos --broker kafka --nodes 10
+    ginflow sweep workflow.json --param nodes=5,10,15 --param broker=activemq,kafka --repeats 3
+    ginflow backends
     ginflow validate workflow.json
     ginflow show-hocl workflow.json
 
 or, without installing the console script::
 
     python -m repro.cli run workflow.json
+
+Backend choices (``--mode`` / ``--executor`` / ``--broker`` / ``--cluster``)
+are drawn dynamically from the backend registry
+(:mod:`repro.runtime.backends`), so third-party backends registered before
+:func:`main` runs are accepted everywhere without touching this module.
 """
 
 from __future__ import annotations
@@ -16,14 +23,34 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
 from repro.hoclflow import encode_workflow
 from repro.runtime import GinFlow, GinFlowConfig
+from repro.runtime.backends import (
+    KINDS,
+    available_brokers,
+    available_clusters,
+    available_executors,
+    available_runtimes,
+    ensure_builtin_backends,
+    registry,
+)
 from repro.services import FailureModel
 from repro.workflow import workflow_from_json
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """Configuration flags shared by ``run`` and ``sweep`` (registry-driven)."""
+    parser.add_argument("--mode", default="simulated", choices=available_runtimes())
+    parser.add_argument("--executor", default="ssh", choices=available_executors())
+    parser.add_argument("--broker", default="activemq", choices=available_brokers())
+    parser.add_argument("--cluster", default="grid5000", choices=available_clusters(),
+                        help="cluster preset (simulated mode)")
+    parser.add_argument("--nodes", type=int, default=25, help="number of cluster nodes (simulated mode)")
+    parser.add_argument("--seed", type=int, default=1, help="root random seed")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,14 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     run_parser = subparsers.add_parser("run", help="execute a JSON workflow")
     run_parser.add_argument("workflow", help="path to the JSON workflow definition")
-    run_parser.add_argument("--mode", default="simulated", choices=("simulated", "threaded", "centralized"))
-    run_parser.add_argument("--executor", default="ssh", choices=("ssh", "mesos"))
-    run_parser.add_argument("--broker", default="activemq", choices=("activemq", "kafka"))
-    run_parser.add_argument("--nodes", type=int, default=25, help="number of cluster nodes (simulated mode)")
-    run_parser.add_argument("--seed", type=int, default=1, help="root random seed")
+    _add_config_arguments(run_parser)
     run_parser.add_argument("--failure-probability", type=float, default=0.0, help="failure injection probability p")
     run_parser.add_argument("--failure-delay", type=float, default=0.0, help="failure injection delay T (seconds)")
     run_parser.add_argument("--json", action="store_true", help="print the report summary as JSON")
+
+    sweep_parser = subparsers.add_parser("sweep", help="execute a workflow over a parameter grid")
+    sweep_parser.add_argument("workflow", help="path to the JSON workflow definition")
+    _add_config_arguments(sweep_parser)
+    sweep_parser.add_argument(
+        "--param",
+        action="append",
+        default=[],
+        metavar="NAME=V1,V2,...",
+        help="sweep parameter (repeatable), e.g. --param nodes=5,10 --param broker=activemq,kafka",
+    )
+    sweep_parser.add_argument("--repeats", type=int, default=1, help="runs per grid cell")
+    sweep_parser.add_argument("--workers", type=int, default=None, help="parallel workers (threads)")
+    sweep_parser.add_argument("--csv", metavar="PATH", help="write the per-run rows as CSV")
+    sweep_parser.add_argument("--json-out", metavar="PATH", help="write rows + aggregates as JSON")
+    sweep_parser.add_argument("--json", action="store_true", help="print the sweep report as JSON")
+
+    backends_parser = subparsers.add_parser("backends", help="list the registered backends")
+    backends_parser.add_argument("--kind", choices=KINDS, help="restrict to one backend kind")
+    backends_parser.add_argument("--json", action="store_true", help="print the listing as JSON")
 
     validate_parser = subparsers.add_parser("validate", help="validate a JSON workflow definition")
     validate_parser.add_argument("workflow", help="path to the JSON workflow definition")
@@ -54,23 +97,112 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _command_run(args: argparse.Namespace) -> int:
-    workflow = workflow_from_json(args.workflow)
-    failures = FailureModel(probability=args.failure_probability, delay=args.failure_delay)
-    config = GinFlowConfig(
+def _base_config(args: argparse.Namespace, failures: FailureModel | None = None) -> GinFlowConfig:
+    return GinFlowConfig(
         mode=args.mode,
         executor=args.executor,
         broker=args.broker,
+        cluster_preset=args.cluster,
         nodes=args.nodes,
         seed=args.seed,
-        failures=failures,
+        failures=failures if failures is not None else FailureModel(),
     )
-    report = GinFlow(config).run(workflow)
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    workflow = workflow_from_json(args.workflow)
+    failures = FailureModel(probability=args.failure_probability, delay=args.failure_delay)
+    report = GinFlow(_base_config(args, failures)).run(workflow)
     if args.json:
         print(json.dumps(report.summary(), indent=2))
     else:
         print(report.format_summary())
     return 0 if report.succeeded else 1
+
+
+def _parse_param_value(text: str) -> Any:
+    """Best-effort scalar parsing of one swept value (int, float, bool, str)."""
+    lowered = text.strip().lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text.strip()
+
+
+def _parse_params(specs: Sequence[str]) -> dict[str, list[Any]]:
+    grid: dict[str, list[Any]] = {}
+    for spec in specs:
+        name, separator, values = spec.partition("=")
+        name = name.strip()
+        parts = [value.strip() for value in values.split(",")]
+        if not separator or not name or not parts or any(part == "" for part in parts):
+            raise ValueError(f"invalid --param {spec!r}; expected NAME=V1,V2,...")
+        if name in grid:
+            raise ValueError(f"duplicate --param {name!r}; give every value in one NAME=V1,V2,... spec")
+        grid[name] = [_parse_param_value(part) for part in parts]
+    return grid
+
+
+def _command_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import ParameterGrid
+
+    grid_spec = _parse_params(args.param)
+    if not grid_spec:
+        raise ValueError("sweep needs at least one --param NAME=V1,V2,...")
+    workflow = workflow_from_json(args.workflow)
+    report = GinFlow(_base_config(args)).sweep(
+        workflow,
+        ParameterGrid(grid_spec),
+        repeats=args.repeats,
+        workers=args.workers,
+        name="cli-sweep",
+    )
+    if args.csv:
+        report.to_csv(args.csv)
+    if args.json_out:
+        report.to_json(args.json_out)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.format_table())
+    return 0 if report.succeeded else 1
+
+
+def _command_backends(args: argparse.Namespace) -> int:
+    ensure_builtin_backends()
+    kinds = (args.kind,) if args.kind else KINDS
+    if args.json:
+        payload = [
+            {
+                "kind": backend.kind,
+                "name": backend.name,
+                "description": backend.description,
+                "capabilities": {
+                    key: repr(value) if not isinstance(value, (str, int, float, bool, type(None))) else value
+                    for key, value in backend.capabilities.items()
+                },
+            }
+            for kind in kinds
+            for backend in registry.backends(kind)
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    for kind in kinds:
+        entries = registry.backends(kind)
+        print(f"{kind} ({len(entries)}):")
+        for backend in entries:
+            capabilities = ", ".join(
+                f"{key}={value}" if not isinstance(value, bool) else (key if value else f"no-{key}")
+                for key, value in backend.capabilities.items()
+                if not callable(value) and not isinstance(value, type)
+            )
+            suffix = f"  [{capabilities}]" if capabilities else ""
+            print(f"  {backend.name:<12} {backend.description}{suffix}")
+    return 0
 
 
 def _command_validate(args: argparse.Namespace) -> int:
@@ -90,21 +222,27 @@ def _command_show_hocl(args: argparse.Namespace) -> int:
     return 0
 
 
+_COMMANDS = {
+    "run": _command_run,
+    "sweep": _command_sweep,
+    "backends": _command_backends,
+    "validate": _command_validate,
+    "show-hocl": _command_show_hocl,
+}
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``ginflow`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    command = _COMMANDS.get(args.command)
+    if command is None:  # pragma: no cover - argparse enforces the choices
+        return 2
     try:
-        if args.command == "run":
-            return _command_run(args)
-        if args.command == "validate":
-            return _command_validate(args)
-        if args.command == "show-hocl":
-            return _command_show_hocl(args)
+        return command(args)
     except Exception as exc:  # noqa: BLE001 - CLI boundary
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,14 +1,21 @@
-"""Simulated infrastructure: nodes, clusters, network and the Mesos master."""
+"""Simulated infrastructure: nodes, clusters, network and the Mesos master.
 
+Import order matters here: the leaf modules (:mod:`.node`, :mod:`.network`,
+:mod:`.mesos_master`) load first so that the preset modules — which import
+:mod:`repro.runtime.backends` to register themselves — can be imported even
+while this package is still initialising.
+"""
+
+from .node import Cluster, Node
+from .network import NetworkModel
+from .mesos_master import MesosMaster, ResourceOffer
 from .grid5000 import (
     GRID5000_NODES,
     GRID5000_TOTAL_CORES,
     grid5000_cluster,
     grid5000_network,
 )
-from .mesos_master import MesosMaster, ResourceOffer
-from .network import NetworkModel
-from .node import Cluster, Node
+from .presets import UNIFORM_CORES_PER_NODE, uniform_cluster
 
 __all__ = [
     "Node",
@@ -20,4 +27,6 @@ __all__ = [
     "grid5000_network",
     "GRID5000_NODES",
     "GRID5000_TOTAL_CORES",
+    "uniform_cluster",
+    "UNIFORM_CORES_PER_NODE",
 ]

@@ -1,0 +1,46 @@
+"""Additional cluster presets built on the backend registry.
+
+The Grid'5000 preset reproduces the paper's testbed exactly (uneven core
+counts, a 25-node ceiling).  The *uniform* preset here removes both
+constraints: every node is identical and the node count is unbounded, which
+is what scale experiments beyond the paper's setup need.  It also serves as
+the in-tree example of adding a cluster backend without touching the engine:
+third-party presets register exactly the same way.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.backends import register_cluster
+
+from .node import Cluster, Node
+
+__all__ = ["uniform_cluster", "UNIFORM_CORES_PER_NODE"]
+
+#: Core count of every node of the uniform preset.
+UNIFORM_CORES_PER_NODE = 8
+
+
+def uniform_cluster(
+    nodes: int,
+    cores_per_node: int = UNIFORM_CORES_PER_NODE,
+    agents_per_core: int = 2,
+    name: str | None = None,
+) -> Cluster:
+    """A homogeneous cluster of ``nodes`` identical machines."""
+    if nodes < 1:
+        raise ValueError("a uniform cluster needs at least one node")
+    machines = [
+        Node(name=f"uniform-{index + 1}", cores=cores_per_node, agents_per_core=agents_per_core)
+        for index in range(nodes)
+    ]
+    return Cluster(machines, name=name or f"uniform-{nodes}")
+
+
+@register_cluster(
+    "uniform",
+    capabilities={"max_nodes": None, "cores_per_node": UNIFORM_CORES_PER_NODE},
+    description="homogeneous cluster: any node count, 8 cores per node, 2 agents/core",
+)
+def _build_uniform_cluster(config) -> Cluster:
+    """Cluster backend factory: ``config.nodes`` identical machines."""
+    return uniform_cluster(getattr(config, "nodes", 1))

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.cluster import Cluster
+from repro.runtime.backends import register_executor
 
 from .base import DeploymentPlan, DistributedExecutor
 
@@ -84,3 +85,13 @@ class SSHExecutor(DistributedExecutor):
         )
         plan.validate()
         return plan
+
+
+@register_executor(
+    "ssh",
+    capabilities={"deployment": "round-robin", "scaling": "slightly-increasing"},
+    description="round-robin SSH provisioning over a preconfigured node list",
+)
+def _build_ssh_executor(config) -> SSHExecutor:
+    """Executor backend factory (the configuration carries no SSH knobs)."""
+    return SSHExecutor()

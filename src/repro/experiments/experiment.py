@@ -1,0 +1,245 @@
+"""First-class experiments: a declarative grid executed into a SweepReport.
+
+An :class:`Experiment` binds a workflow (or workflow *factory*), a
+:class:`~repro.experiments.grid.ParameterGrid` and a base
+:class:`~repro.runtime.config.GinFlowConfig`, and executes every cell
+``repeats`` times — sequentially or with thread/process parallelism —
+aggregating everything into a :class:`~repro.experiments.report.SweepReport`.
+
+Cell parameters are routed automatically:
+
+* keys naming :class:`GinFlowConfig` fields (``nodes``, ``broker``,
+  ``executor``, ``mode``, ``seed``, ``costs``, ...) override the base
+  configuration for that cell;
+* ``failure_probability`` / ``failure_delay`` build a
+  :class:`~repro.services.FailureModel`;
+* every other key is passed to the workflow factory as a keyword argument.
+
+Each repeat derives its seed as ``base_seed + repeat`` (the cell's ``seed``
+if swept, the configuration's otherwise), so repeated cells are independent
+but the whole sweep stays reproducible.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Any, Callable, Mapping
+
+from repro.runtime.config import GinFlowConfig
+from repro.runtime.results import RunReport
+from repro.services import FailureModel
+from repro.workflow.dag import Workflow
+from repro.workflow.json_format import workflow_from_json
+
+from .grid import ParameterGrid
+from .report import SweepReport
+
+__all__ = ["Experiment"]
+
+#: Cell keys translated into a FailureModel instead of a config field.
+_FAILURE_KEYS = ("failure_probability", "failure_delay")
+
+_CONFIG_FIELDS = frozenset(spec.name for spec in dataclass_fields(GinFlowConfig))
+
+
+def _execute_point(point: tuple["Experiment", dict[str, Any], int]) -> dict[str, Any]:
+    """Top-level trampoline so process pools can pickle the work items."""
+    experiment, cell, repeat = point
+    return experiment.execute_cell(cell, repeat)
+
+
+@dataclass
+class Experiment:
+    """A declarative parameter sweep over GinFlow runs.
+
+    Attributes
+    ----------
+    name:
+        Label echoed into the :class:`SweepReport` and its exports.
+    workflow:
+        A :class:`Workflow`, a JSON string/dict/path, or a callable invoked
+        with the cell's workflow parameters and returning a workflow.  May
+        be ``None`` when a custom ``runner`` ignores it.
+    grid:
+        A :class:`ParameterGrid` (or anything its constructor accepts).
+    config:
+        Base configuration each cell overrides (defaults to
+        ``GinFlowConfig()``).
+    repeats:
+        Runs per cell (seeds derived as ``base_seed + repeat``).
+    timeout:
+        Per-run timeout forwarded to wall-clock runtimes.
+    metrics:
+        Optional ``(report, cell, workflow) -> mapping`` callback whose
+        result is merged into each row.
+    runner:
+        Optional ``(workflow, config, cell) -> RunReport | mapping``
+        replacing the default GinFlow execution (characterisation sweeps,
+        micro-benchmarks).  A mapping return value becomes the row as-is
+        (cell parameters are still included).
+    fixed:
+        Parameters merged into every cell (cell values win).
+    """
+
+    name: str = "experiment"
+    workflow: Any = None
+    grid: Any = field(default_factory=dict)
+    config: GinFlowConfig | None = None
+    repeats: int = 1
+    timeout: float = 120.0
+    metrics: Callable[[RunReport, dict[str, Any], Workflow | None], Mapping[str, Any]] | None = None
+    runner: Callable[[Workflow | None, GinFlowConfig, dict[str, Any]], Any] | None = None
+    fixed: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.grid, ParameterGrid):
+            self.grid = ParameterGrid(self.grid)
+        if self.config is None:
+            self.config = GinFlowConfig()
+        if self.repeats < 1:
+            raise ValueError("repeats must be >= 1")
+
+    # ------------------------------------------------------------------ run
+    def run(self, workers: int | None = None, parallel: str = "thread") -> SweepReport:
+        """Execute every (cell, repeat) point; returns the aggregated report.
+
+        ``workers`` enables a pool (``parallel`` is ``"thread"`` or
+        ``"process"``); row order always matches grid order regardless of
+        the execution order.
+
+        ``parallel="process"`` requires the whole experiment (workflow
+        factory, metrics, runner, config) to be picklable — use module-level
+        functions, not lambdas — and, on spawn-based platforms
+        (macOS/Windows), any third-party backend the sweep uses must be
+        registered at import time of a module the workers also import.
+        When in doubt, ``parallel="thread"`` always works.
+        """
+        points = [
+            (self, dict(cell), repeat)
+            for cell in self.grid
+            for repeat in range(self.repeats)
+        ]
+        if workers is not None and workers > 1 and len(points) > 1:
+            if parallel not in ("thread", "process"):
+                raise ValueError(f"parallel must be 'thread' or 'process', got {parallel!r}")
+            if parallel == "process":
+                self._check_picklable()
+            pool_cls = ProcessPoolExecutor if parallel == "process" else ThreadPoolExecutor
+            with pool_cls(max_workers=workers) as pool:
+                rows = list(pool.map(_execute_point, points))
+        else:
+            rows = [_execute_point(point) for point in points]
+        return SweepReport(
+            name=self.name,
+            rows=rows,
+            grid_keys=self.grid.keys(),
+            repeats=self.repeats,
+        )
+
+    # ------------------------------------------------------------ internals
+    def _check_picklable(self) -> None:
+        import pickle
+
+        try:
+            pickle.dumps(self)
+        except Exception as exc:
+            raise ValueError(
+                "parallel='process' requires a picklable experiment (module-level "
+                "workflow factory / metrics / runner, picklable config); "
+                f"use parallel='thread' instead ({exc})"
+            ) from None
+
+    def execute_cell(self, cell: dict[str, Any], repeat: int) -> dict[str, Any]:
+        """Run one (cell, repeat) point and return its measurement row."""
+        merged = {**self.fixed, **cell}
+        config, workflow_kwargs, base_seed = self._split_cell(merged)
+        seed = base_seed + repeat
+        config = config.with_overrides(seed=seed)
+        workflow = self._resolve_workflow(workflow_kwargs)
+
+        row: dict[str, Any] = dict(merged)
+        # Grid keys are the cell's identity — measurements must never clobber
+        # them (e.g. a swept "seed" or "failures" config field), or the
+        # per-cell aggregation falls apart.  The derived per-repeat seed goes
+        # to "run_seed" when "seed" itself is swept.
+        row["seed" if "seed" not in merged else "run_seed"] = seed
+        row["repeat"] = repeat
+        outcome = self._run_point(workflow, config, merged)
+        if isinstance(outcome, RunReport):
+            measurements = {
+                "succeeded": outcome.succeeded,
+                "makespan": outcome.makespan,
+                "deployment_time": outcome.deployment_time,
+                "execution_time": outcome.execution_time,
+                "messages": outcome.messages_published,
+                "failures": outcome.failures_injected,
+                "recoveries": outcome.recoveries,
+                "adaptations": outcome.adaptations_triggered,
+            }
+            for key, value in measurements.items():
+                row[key if key not in merged else f"measured_{key}"] = value
+            if self.metrics is not None:
+                row.update(self.metrics(outcome, merged, workflow))
+        elif isinstance(outcome, Mapping):
+            row.update(outcome)
+        else:
+            raise TypeError(
+                f"experiment runner must return a RunReport or a mapping, got {type(outcome).__name__}"
+            )
+        return row
+
+    def _run_point(self, workflow: Workflow | None, config: GinFlowConfig, cell: dict[str, Any]):
+        if self.runner is not None:
+            return self.runner(workflow, config, cell)
+        if workflow is None:
+            raise ValueError("an Experiment without a custom runner needs a workflow")
+        from repro.runtime.ginflow import GinFlow
+
+        return GinFlow(config).run(workflow, timeout=self.timeout)
+
+    def _split_cell(self, cell: dict[str, Any]) -> tuple[GinFlowConfig, dict[str, Any], int]:
+        overrides: dict[str, Any] = {}
+        workflow_kwargs: dict[str, Any] = {}
+        for key, value in cell.items():
+            if key in _FAILURE_KEYS:
+                continue
+            if key in _CONFIG_FIELDS:
+                overrides[key] = value
+            else:
+                workflow_kwargs[key] = value
+        assert self.config is not None
+        if any(key in cell for key in _FAILURE_KEYS):
+            # Un-swept failure parameters inherit from the base model (a
+            # swept "failures" config field, if any, then the config's).
+            base = cell.get("failures", self.config.failures)
+            overrides["failures"] = FailureModel(
+                probability=float(cell.get("failure_probability", base.probability)),
+                delay=float(cell.get("failure_delay", base.delay)),
+                detection_delay=base.detection_delay,
+                restart_delay=base.restart_delay,
+            )
+        base_seed = int(overrides.pop("seed", self.config.seed))
+        config = self.config.with_overrides(**overrides) if overrides else self.config
+        return config, workflow_kwargs, base_seed
+
+    def _resolve_workflow(self, workflow_kwargs: dict[str, Any]) -> Workflow | None:
+        source = self.workflow
+        if source is None:
+            if workflow_kwargs and self.runner is None:
+                raise ValueError(f"no workflow to receive grid parameters {sorted(workflow_kwargs)}")
+            return None
+        if callable(source) and not isinstance(source, Workflow):
+            workflow = source(**workflow_kwargs)
+        else:
+            if workflow_kwargs:
+                raise ValueError(
+                    f"grid parameters {sorted(workflow_kwargs)} match neither a configuration "
+                    "field nor a workflow-factory argument (the workflow is fixed)"
+                )
+            workflow = source
+        if isinstance(workflow, Workflow):
+            return workflow
+        return workflow_from_json(workflow)
+    # Note: a factory may legitimately return a JSON string/dict; it is
+    # normalised right above.

@@ -1,0 +1,166 @@
+"""Sweep results: per-run rows, per-cell aggregates, JSON/CSV export.
+
+A :class:`SweepReport` holds one *row* per executed run (cell × repeat) and
+aggregates rows back into *cells* with mean/stdev statistics — the exact
+shape the paper's figures plot (per-cell mean makespans over repeated runs).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Sequence
+
+from .stats import format_table, mean, std
+
+__all__ = ["SweepReport"]
+
+#: Row fields aggregated by default (mean/std per cell).
+DEFAULT_METRICS = ("makespan", "execution_time", "deployment_time")
+
+
+def _cell_key(row: dict[str, Any], keys: Sequence[str]) -> tuple:
+    """A hashable identity for the grid cell a row belongs to."""
+    parts = []
+    for key in keys:
+        value = row.get(key)
+        try:
+            hash(value)
+        except TypeError:
+            value = repr(value)
+        parts.append(value)
+    return tuple(parts)
+
+
+def _jsonable(value: Any) -> Any:
+    """Best-effort conversion of a row value to a JSON-serialisable one."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _jsonable(item) for key, item in value.items()}
+    return repr(value)
+
+
+@dataclass
+class SweepReport:
+    """Outcome of one parameter sweep.
+
+    Attributes
+    ----------
+    name:
+        The experiment name (echoed into exports).
+    rows:
+        One dictionary per executed run, containing the cell parameters,
+        the derived ``seed`` and ``repeat`` index, and the measured values.
+    grid_keys:
+        The parameter names of the grid (the cell identity).
+    repeats:
+        How many times each cell was run.
+    """
+
+    name: str = "sweep"
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    grid_keys: tuple[str, ...] = ()
+    repeats: int = 1
+
+    # ------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether every run of the sweep succeeded."""
+        return all(row.get("succeeded", True) for row in self.rows)
+
+    def cells(self, metrics: Iterable[str] = DEFAULT_METRICS) -> list[dict[str, Any]]:
+        """Per-cell aggregates: ``<metric>_mean`` / ``<metric>_std`` plus
+        ``runs`` and ``success_rate``, in first-seen cell order."""
+        metrics = tuple(metrics)
+        groups: dict[tuple, list[dict[str, Any]]] = {}
+        order: list[tuple] = []
+        for row in self.rows:
+            key = _cell_key(row, self.grid_keys)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(row)
+        aggregated = []
+        for key in order:
+            group = groups[key]
+            cell = {name: group[0].get(name) for name in self.grid_keys}
+            cell["runs"] = len(group)
+            cell["success_rate"] = mean(1.0 if row.get("succeeded", True) else 0.0 for row in group)
+            for metric in metrics:
+                values = [row[metric] for row in group if isinstance(row.get(metric), (int, float))]
+                # No column at all when the metric never appears in this
+                # cell's rows — phantom 0.0 aggregates read as real data.
+                if values:
+                    cell[f"{metric}_mean"] = mean(values)
+                    cell[f"{metric}_std"] = std(values)
+            aggregated.append(cell)
+        return aggregated
+
+    def best_cell(self, metric: str = "makespan_mean", minimize: bool = True) -> dict[str, Any]:
+        """The aggregated cell optimising ``metric`` (raises on empty sweeps).
+
+        ``metric`` may be a bare row field (``"makespan"``) or an aggregate
+        column (``"makespan_mean"`` / ``"makespan_std"``).
+        """
+        base = metric.removesuffix("_mean").removesuffix("_std")
+        if not any(base in row for row in self.rows):
+            raise KeyError(f"unknown metric {metric!r} (no {base!r} field in any row)")
+        cells = self.cells(metrics=(base,))
+        if not cells:
+            raise ValueError("the sweep produced no rows")
+        lookup = metric if metric != base else f"{metric}_mean"
+        chooser = min if minimize else max
+        # cells missing the metric entirely rank last
+        fallback = float("inf") if minimize else float("-inf")
+        return chooser(cells, key=lambda cell: cell.get(lookup, fallback))
+
+    # -------------------------------------------------------------- export
+    def to_json(self, path: str | Path | None = None, indent: int = 2) -> str:
+        """JSON export (rows + per-cell aggregates); optionally written to ``path``."""
+        payload = {
+            "name": self.name,
+            "grid_keys": list(self.grid_keys),
+            "repeats": self.repeats,
+            "rows": [_jsonable(row) for row in self.rows],
+            "cells": [_jsonable(cell) for cell in self.cells()],
+        }
+        text = json.dumps(payload, indent=indent)
+        if path is not None:
+            Path(path).write_text(text + "\n", encoding="utf-8")
+        return text
+
+    def to_csv(self, path: str | Path | None = None) -> str:
+        """CSV export of the per-run rows; optionally written to ``path``."""
+        columns: list[str] = []
+        for row in self.rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=columns, extrasaction="ignore", lineterminator="\n")
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow({key: _jsonable(row.get(key)) for key in columns})
+        text = buffer.getvalue()
+        if path is not None:
+            Path(path).write_text(text, encoding="utf-8")
+        return text
+
+    # ------------------------------------------------------------- display
+    def format_table(self, columns: Sequence[str] | None = None, aggregated: bool = True) -> str:
+        """Text table of the aggregated cells (or the raw rows)."""
+        rows = self.cells() if aggregated else self.rows
+        title = f"{self.name} — {len(self.rows)} runs, {len(self.cells())} cells"
+        return format_table(rows, columns=columns, title=title)

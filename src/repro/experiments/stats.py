@@ -1,0 +1,57 @@
+"""Small statistics and table-rendering helpers shared by sweeps and benches.
+
+These are the canonical implementations; :mod:`repro.bench.common` re-exports
+them so the historical ``from repro.bench import mean, std, format_table``
+imports keep working.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+__all__ = ["mean", "std", "format_table"]
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    values = list(values)
+    return sum(values) / len(values) if values else 0.0
+
+
+def std(values: Iterable[float]) -> float:
+    """Population standard deviation (0.0 for fewer than two samples)."""
+    values = list(values)
+    if len(values) < 2:
+        return 0.0
+    center = mean(values)
+    return (sum((value - center) ** 2 for value in values) / len(values)) ** 0.5
+
+
+def format_table(rows: Sequence[dict[str, Any]], columns: Sequence[str] | None = None, title: str = "") -> str:
+    """Render measurement rows as a fixed-width text table."""
+    if not rows:
+        return f"{title}\n(no data)" if title else "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    widths = {column: len(column) for column in columns}
+    rendered_rows = []
+    for row in rows:
+        rendered = {}
+        for column in columns:
+            value = row.get(column, "")
+            if isinstance(value, float):
+                text = f"{value:.2f}"
+            else:
+                text = str(value)
+            rendered[column] = text
+            widths[column] = max(widths[column], len(text))
+        rendered_rows.append(rendered)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    lines.append(header)
+    lines.append("  ".join("-" * widths[column] for column in columns))
+    for rendered in rendered_rows:
+        lines.append("  ".join(rendered[column].ljust(widths[column]) for column in columns))
+    return "\n".join(lines)

@@ -9,6 +9,8 @@ Section V-C/V-D.
 
 from __future__ import annotations
 
+from repro.runtime.backends import register_broker
+
 from .broker import ACTIVEMQ_PROFILE, BrokerProfile, InProcessBroker
 
 __all__ = ["ActiveMQBroker"]
@@ -19,3 +21,14 @@ class ActiveMQBroker(InProcessBroker):
 
     def __init__(self, profile: BrokerProfile | None = None):
         super().__init__(profile or ACTIVEMQ_PROFILE)
+
+
+@register_broker(
+    "activemq",
+    capabilities={"persistent": False, "broker_class": ActiveMQBroker},
+    description="ActiveMQ 5.6-like JMS broker: fast, transient messaging",
+)
+def _activemq_profile(config) -> BrokerProfile:
+    """Broker backend factory (honours cost-model profile overrides)."""
+    costs = getattr(config, "costs", None)
+    return costs.activemq if costs is not None else ACTIVEMQ_PROFILE

@@ -9,6 +9,8 @@ time gap of Fig. 14.
 
 from __future__ import annotations
 
+from repro.runtime.backends import register_broker
+
 from .broker import KAFKA_PROFILE, BrokerProfile, InProcessBroker
 from .message import Message
 
@@ -28,3 +30,14 @@ class KafkaBroker(InProcessBroker):
     def replay_from_beginning(self, topic: str) -> list[Message]:
         """Every message ever published on ``topic`` (offset 0 onwards)."""
         return self.replay(topic, 0)
+
+
+@register_broker(
+    "kafka",
+    capabilities={"persistent": True, "broker_class": KafkaBroker},
+    description="Kafka 0.8-like broker: persistent, replayable, ~4x ActiveMQ's cost",
+)
+def _kafka_profile(config) -> BrokerProfile:
+    """Broker backend factory (honours cost-model profile overrides)."""
+    costs = getattr(config, "costs", None)
+    return costs.kafka if costs is not None else KAFKA_PROFILE

@@ -1,53 +1,62 @@
 """Run configuration of the GinFlow engine.
 
 A :class:`GinFlowConfig` bundles every knob a run needs: execution mode,
-executor, messaging middleware, cluster size, failure injection, cost model
-and seed.  The defaults reproduce the paper's common setup (distributed
-simulation over the 25-node Grid'5000 preset, ActiveMQ, no failures).
+executor, messaging middleware, cluster preset and size, failure injection,
+cost model and seed.  The defaults reproduce the paper's common setup
+(distributed simulation over the 25-node Grid'5000 preset, ActiveMQ, no
+failures).
+
+Every *named* choice (``mode``, ``executor``, ``broker``,
+``cluster_preset``) resolves through the pluggable backend registry
+(:mod:`repro.runtime.backends`): registering a new backend through the
+public API makes it immediately valid here, in :meth:`GinFlow.run
+<repro.runtime.ginflow.GinFlow.run>` and in the CLI, without editing any
+engine file.  The historical ``EXECUTION_MODES`` / ``EXECUTORS`` /
+``BROKERS`` tuples are kept as *derived views* of the registry (module-level
+``__getattr__``), so they can never drift from it.
+
+The configuration is a frozen dataclass: it validates once on construction
+and can only be varied through :meth:`GinFlowConfig.with_overrides`, which
+returns a new validated instance.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
-from repro.cluster import Cluster, NetworkModel, grid5000_cluster, grid5000_network
-from repro.executors import DistributedExecutor, MesosExecutor, SSHExecutor
+from repro.cluster.network import NetworkModel
+from repro.cluster.node import Cluster
 from repro.services import NO_FAILURES, FailureModel, ServiceRegistry
 
+from . import backends
 from .costs import CostModel
 
 __all__ = ["GinFlowConfig", "EXECUTION_MODES", "EXECUTORS", "BROKERS"]
 
-#: Supported execution modes.
-EXECUTION_MODES = ("simulated", "threaded", "centralized")
 
-#: Supported distributed executors.
-EXECUTORS = ("ssh", "mesos")
-
-#: Supported messaging middlewares.
-BROKERS = ("activemq", "kafka")
-
-
-@dataclass
+@dataclass(frozen=True)
 class GinFlowConfig:
-    """Configuration of one GinFlow run.
+    """Configuration of one GinFlow run (immutable; validated on creation).
 
     Attributes
     ----------
     mode:
-        ``"simulated"`` (virtual-time distributed run, the default),
-        ``"threaded"`` (real threads on the local machine) or
-        ``"centralized"`` (single interpreter).
+        Execution mode, resolved against the runtime backends
+        (``"simulated"``, ``"threaded"``, ``"centralized"``, or any
+        registered third-party runtime).
     executor:
-        ``"ssh"`` or ``"mesos"`` (distributed modes only).
+        Distributed executor name (``"ssh"``, ``"mesos"``, ...;
+        distributed modes only).
     broker:
-        ``"activemq"`` or ``"kafka"``.
+        Messaging middleware name (``"activemq"``, ``"kafka"``, ...).
+    cluster_preset:
+        Cluster preset name used when no explicit ``cluster`` is given
+        (``"grid5000"`` by default).
     nodes:
-        Number of cluster nodes to use (taken from the Grid'5000 preset when
-        no explicit ``cluster`` is given).
+        Number of cluster nodes to use (interpreted by the preset).
     cluster:
-        Explicit cluster (overrides ``nodes``).
+        Explicit cluster (overrides ``cluster_preset``/``nodes``).
     network:
         Network model (defaults to the Grid'5000 1 Gbps preset).
     failures:
@@ -70,6 +79,7 @@ class GinFlowConfig:
     mode: str = "simulated"
     executor: str = "ssh"
     broker: str = "activemq"
+    cluster_preset: str = "grid5000"
     nodes: int = 25
     cluster: Cluster | None = None
     network: NetworkModel | None = None
@@ -87,42 +97,56 @@ class GinFlowConfig:
     # ------------------------------------------------------------ validation
     def validate(self) -> None:
         """Check the configuration coherence; raise ``ValueError`` otherwise."""
-        if self.mode not in EXECUTION_MODES:
-            raise ValueError(f"unknown mode {self.mode!r}; expected one of {EXECUTION_MODES}")
-        if self.executor not in EXECUTORS:
-            raise ValueError(f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
-        if self.broker not in BROKERS:
-            raise ValueError(f"unknown broker {self.broker!r}; expected one of {BROKERS}")
+        backends.ensure_builtin_backends()
+        backends.registry.get("runtime", self.mode)
+        backends.registry.get("executor", self.executor)
+        backends.registry.get("broker", self.broker)
+        if self.cluster is None:
+            backends.registry.get("cluster", self.cluster_preset)
         if self.nodes < 1:
             raise ValueError("nodes must be >= 1")
         if self.failures.enabled and not self.broker_profile().persistent:
             raise ValueError(
-                "failure injection requires a persistent broker (Kafka): the recovery "
+                "failure injection requires a persistent broker (e.g. Kafka): the recovery "
                 "mechanism replays the messages logged by the broker (Section IV-B)"
             )
         if self.threaded_time_scale < 0:
             raise ValueError("threaded_time_scale must be >= 0")
 
     # -------------------------------------------------------------- builders
+    def runtime_backend(self) -> backends.Backend:
+        """The runtime backend selected by ``mode``."""
+        return backends.get_backend("runtime", self.mode)
+
     def build_cluster(self) -> Cluster:
-        """The cluster to run on (explicit cluster, or Grid'5000 preset subset)."""
+        """The cluster to run on (explicit cluster, or the named preset)."""
         if self.cluster is not None:
             return self.cluster
-        return grid5000_cluster(self.nodes)
+        return backends.get_backend("cluster", self.cluster_preset).build(self)
 
     def build_network(self) -> NetworkModel:
-        """The network model (explicit or Grid'5000 preset)."""
-        return self.network if self.network is not None else grid5000_network()
+        """The network model: explicit, the cluster preset's ``network``
+        capability (a model or a ``(config) -> NetworkModel`` factory), or
+        the Grid'5000 default."""
+        if self.network is not None:
+            return self.network
+        if self.cluster is None:
+            network = backends.get_backend("cluster", self.cluster_preset).capability("network")
+            if callable(network):
+                return network(self)
+            if network is not None:
+                return network
+        from repro.cluster.grid5000 import grid5000_network
 
-    def build_executor(self) -> DistributedExecutor:
-        """The distributed executor instance."""
-        if self.executor == "ssh":
-            return SSHExecutor()
-        return MesosExecutor()
+        return grid5000_network()
+
+    def build_executor(self):
+        """The distributed executor instance (from the executor backends)."""
+        return backends.get_backend("executor", self.executor).build(self)
 
     def broker_profile(self):
-        """The broker profile selected by ``broker`` (from the cost model)."""
-        return self.costs.broker_profile(self.broker)
+        """The broker profile selected by ``broker`` (from the broker backends)."""
+        return backends.get_backend("broker", self.broker).build(self)
 
     def build_registry(self) -> ServiceRegistry:
         """The service registry (a fresh default one when none was given)."""
@@ -130,7 +154,17 @@ class GinFlowConfig:
 
     # --------------------------------------------------------------- utility
     def with_overrides(self, **overrides: Any) -> "GinFlowConfig":
-        """A copy of the configuration with some attributes replaced."""
-        config = replace(self, **overrides)
-        config.validate()
-        return config
+        """A validated copy of the configuration with some attributes replaced."""
+        unknown = set(overrides) - {spec.name for spec in fields(self)}
+        if unknown:
+            raise ValueError(f"unknown configuration field(s): {sorted(unknown)}")
+        # replace() re-runs __post_init__, which validates the copy.
+        return replace(self, **overrides)
+
+
+def __getattr__(name: str):
+    """Derived views of the registry, kept for backwards compatibility."""
+    view = backends.DERIVED_VIEWS.get(name)
+    if view is not None:
+        return view()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -40,6 +40,7 @@ from repro.services import InvocationContext, InvocationResult
 from repro.simkernel import RandomStreams, SerialQueue, Simulator
 from repro.workflow.dag import Workflow
 
+from .backends import register_runtime
 from .config import GinFlowConfig
 from .results import RunReport, TaskOutcome
 
@@ -338,4 +339,19 @@ class SimulatedRun:
 
 def run_simulation(workflow: Workflow, config: GinFlowConfig | None = None) -> RunReport:
     """Convenience wrapper: simulate ``workflow`` under ``config``."""
+    return SimulatedRun(workflow, config).run()
+
+
+@register_runtime(
+    "simulated",
+    capabilities={
+        "distributed": True,
+        "virtual_time": True,
+        "supports_failures": True,
+        "deterministic": True,
+    },
+    description="virtual-time distributed simulation over the modelled cluster",
+)
+def _simulated_runtime(workflow: Workflow, config: GinFlowConfig, timeout: float | None = None) -> RunReport:
+    """Runtime backend entry point (``timeout`` has no meaning in virtual time)."""
     return SimulatedRun(workflow, config).run()

@@ -23,10 +23,11 @@ from typing import Any
 
 from repro.agents import AgentCore, Coordinator, SendAdapt, SendResult, StartInvocation, StatusUpdate
 from repro.hoclflow.translator import TaskEncoding, WorkflowEncoding, encode_workflow
-from repro.messaging import ActiveMQBroker, InProcessBroker, KafkaBroker, Message, MessageKind, STATUS_TOPIC, agent_topic
+from repro.messaging import InProcessBroker, Message, MessageKind, STATUS_TOPIC, agent_topic
 from repro.services import InvocationContext, ServiceRegistry
 from repro.workflow.dag import Workflow
 
+from .backends import get_backend, register_runtime
 from .config import GinFlowConfig
 from .results import RunReport, TaskOutcome
 
@@ -72,8 +73,13 @@ class ThreadedRun:
         """Execute the workflow; ``timeout`` bounds the wall-clock wait."""
         encoding = encode_workflow(self.workflow)
         self.encoding = encoding
-        broker_cls = KafkaBroker if self.config.broker == "kafka" else ActiveMQBroker
-        self._broker = broker_cls()
+        # Any registered broker backend works here: its profile carries the
+        # persistence flag, and `broker_class` (optional capability) selects
+        # a specialised in-process implementation.
+        broker_backend = get_backend("broker", self.config.broker)
+        profile = self.config.broker_profile()
+        broker_cls = broker_backend.capability("broker_class", InProcessBroker)
+        self._broker = broker_cls(profile)
         self._coordinator = Coordinator(
             exit_tasks=encoding.exit_tasks(), on_complete=lambda _time: self._done.set()
         )
@@ -230,3 +236,13 @@ class ThreadedRun:
 def run_threaded(workflow: Workflow, config: GinFlowConfig | None = None, timeout: float = 60.0) -> RunReport:
     """Convenience wrapper: run ``workflow`` on the threaded runtime."""
     return ThreadedRun(workflow, config).run(timeout=timeout)
+
+
+@register_runtime(
+    "threaded",
+    capabilities={"distributed": False, "wall_clock": True, "supports_failures": False},
+    description="real threads and an in-process broker on the local machine",
+)
+def _threaded_runtime(workflow: Workflow, config: GinFlowConfig, timeout: float | None = None) -> RunReport:
+    """Runtime backend entry point (``timeout`` bounds the wall-clock wait)."""
+    return ThreadedRun(workflow, config).run(timeout=timeout if timeout is not None else 60.0)
