@@ -65,7 +65,12 @@ class AgentCore:
         # Only the pure externals are needed locally: the decentralised
         # gw_call never calls `invoke` (the runtime owns the invocation).
         register_workflow_externals(externals, lambda *_args: None)
-        self.engine = ReductionEngine(externals=externals, max_steps=max_reduction_steps)
+        # Incremental: between stimuli the local solution stays stamped
+        # inert, so re-entering reduction after a stimulus only re-examines
+        # the parts of the solution the stimulus actually dirtied.
+        self.engine = ReductionEngine(
+            externals=externals, max_steps=max_reduction_steps, incremental=True
+        )
         self.state = AgentState.IDLE
         self.invocation_requested = False
         self.results_sent = 0
@@ -190,7 +195,7 @@ class AgentCore:
         report = self.engine.reduce(self.solution)
         self.match_attempts += report.match_attempts
         self.reactions += report.reactions
-        self.reduction_units += report.match_attempts * max(1, len(self.solution))
+        self.reduction_units += report.reduction_units(len(self.solution))
         # NOTE: the rules' effect hooks hold a reference to self._pending, so
         # the list must be drained in place (never rebound).
         actions = list(self._pending)

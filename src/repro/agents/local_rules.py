@@ -55,6 +55,11 @@ __all__ = ["build_local_rules"]
 #: Callback through which the rules hand their actions back to the agent core.
 ActionSink = Callable[[Action], None]
 
+#: ``gw_setup`` carries no per-agent state (no effect hook), so every agent
+#: shares one immutable instance: the engine's per-rule index keys are then
+#: computed once per process instead of once per agent.
+_SHARED_GW_SETUP = make_gw_setup()
+
 
 def _make_local_gw_call(emit: ActionSink) -> Rule:
     """Local ``gw_call``: request the invocation instead of performing it."""
@@ -137,8 +142,12 @@ def build_local_rules(encoding: TaskEncoding, emit: ActionSink) -> list[Rule]:
 
     ``emit`` is called by the rules' effects with the actions they request;
     the agent core collects them and the runtime executes them.
+
+    Every rule's *first* pattern names a head symbol (``SRC``, ``RES``,
+    ``DST``...), so the engine's rule index can refute inapplicable rules
+    from the local solution's head-symbol buckets without running a match.
     """
-    rules: list[Rule] = [make_gw_setup(), _make_local_gw_call(emit), _make_local_gw_pass(emit)]
+    rules: list[Rule] = [_SHARED_GW_SETUP, _make_local_gw_call(emit), _make_local_gw_pass(emit)]
     for plan in encoding.trigger_plans:
         rules.append(_make_local_trigger(plan, emit))
     for rule in encoding.local_rules:

@@ -17,6 +17,27 @@ rules are tried in priority order (then insertion order) and the first match
 found is applied.  HOCL semantics allow any order; determinism makes tests
 and the simulation reproducible without changing the set of reachable inert
 states for the confluent programs used by GinFlow.
+
+Incremental reduction
+---------------------
+By default the engine is *incremental*: it relies on the dirty tracking of
+:class:`~repro.hocl.multiset.Multiset` to avoid redoing work that cannot
+have changed since the last reduction:
+
+* a solution proven inert is stamped (:meth:`Multiset.note_inert`) and is
+  skipped — along with its whole subtree — until any mutation anywhere
+  below it bumps its version again;
+* rules are drawn from the multiset's cached priority ordering, and a rule
+  is only *tried* (and only then charged a ``match_attempt``) when every
+  one of its patterns has at least one candidate in the solution's
+  head-symbol index; after a reaction this leaves only the plausibly
+  applicable rules.
+
+Both optimisations are trace-preserving: skipping an inert solution skips
+zero reactions, and skipping an index-refuted rule skips a search that was
+guaranteed to fail, so :attr:`ReductionReport.history` is identical to the
+naive engine's (``incremental=False``), which remains available as the
+reference implementation and as the baseline of the reduction benchmarks.
 """
 
 from __future__ import annotations
@@ -76,6 +97,19 @@ class ReductionReport:
         self.inert = self.inert and other.inert
         self.history.extend(other.history)
 
+    def reduction_units(self, solution_size: int) -> float:
+        """Cost units of this reduction: attempts weighted by solution size.
+
+        This is the accounting consumed by
+        :meth:`repro.runtime.costs.CostModel.handling_cost`.  A *unit* is one
+        match attempt over one atom of the local solution; under the
+        incremental engine ``match_attempts`` only counts searches that were
+        actually performed (index-refuted rules and already-inert solutions
+        are free), so the charged virtual time shrinks exactly where the
+        real interpreter's work does.
+        """
+        return self.match_attempts * max(1, solution_size)
+
 
 #: Optional observer invoked after every reaction with
 #: ``(rule, match, depth)``; the GinFlow agents use it for tracing.
@@ -97,6 +131,11 @@ class ReductionEngine:
         looping forever.
     observer:
         Optional callback invoked after each reaction.
+    incremental:
+        When ``True`` (the default) the engine caches inertness per
+        sub-solution and prunes rules through the multiset's head-symbol
+        index; ``False`` restores the naive re-reduce-everything behaviour
+        (same traces, used as the benchmark baseline).
     """
 
     def __init__(
@@ -104,10 +143,12 @@ class ReductionEngine:
         externals: ExternalRegistry | None = None,
         max_steps: int = 100_000,
         observer: ReactionObserver | None = None,
+        incremental: bool = True,
     ):
         self.externals = externals if externals is not None else default_registry()
         self.max_steps = int(max_steps)
         self.observer = observer
+        self.incremental = bool(incremental)
 
     # ----------------------------------------------------------------- public
     def reduce(self, solution: Multiset) -> ReductionReport:
@@ -148,6 +189,11 @@ class ReductionEngine:
             if report.reactions >= self.max_steps:
                 report.inert = False
                 return
+            if self.incremental and solution.known_inert:
+                # proven inert at this exact version: nothing below can fire
+                # (any mutation in the subtree would have bumped the version
+                # through the parent chain).
+                return
             # 1. bring every nested solution to inertness first
             for nested in self._nested_solutions(solution):
                 self._reduce_level(nested, depth + 1, report)
@@ -156,25 +202,43 @@ class ReductionEngine:
                     return
             # 2. then try one reaction at this level
             if not self._apply_first_applicable(solution, depth, report):
+                if self.incremental:
+                    solution.note_inert()
                 return
             # a reaction at this level may have created new nested solutions
             # or re-enabled nested rules: loop.
 
     def _try_one_reaction(self, solution: Multiset, depth: int, report: ReductionReport) -> bool:
+        if self.incremental and solution.known_inert:
+            return False
         for nested in self._nested_solutions(solution):
             if self._try_one_reaction(nested, depth + 1, report):
                 return True
         return self._apply_first_applicable(solution, depth, report)
 
     def _ordered_rules(self, solution: Multiset) -> list[Rule]:
-        rules = [atom for atom in solution.atoms() if isinstance(atom, Rule)]
-        # stable sort: priority descending, insertion order preserved among equals
-        return sorted(rules, key=lambda rule: -rule.priority)
+        # priority descending, insertion order preserved among equals —
+        # cached by the multiset and invalidated only when rules change.
+        return solution.rules_by_priority()
+
+    def _plausible(self, rule: Rule, solution: Multiset) -> bool:
+        """Whether the index leaves any candidates for every pattern of ``rule``.
+
+        A ``False`` answer proves the rule cannot match (each pattern's key
+        names a bucket that must contain any atom it matches), so the search
+        — and its ``match_attempts`` charge — is skipped entirely.
+        """
+        for key in rule.pattern_index_keys:
+            if key is not None and not solution.has_candidates(key):
+                return False
+        return True
 
     def _apply_first_applicable(
         self, solution: Multiset, depth: int, report: ReductionReport
     ) -> bool:
         for rule in self._ordered_rules(solution):
+            if self.incremental and not self._plausible(rule, solution):
+                continue
             report.match_attempts += 1
             match = self._find_match_excluding_self(rule, solution)
             if match is None:
@@ -184,13 +248,21 @@ class ReductionEngine:
         return False
 
     def _has_applicable_rule(self, solution: Multiset, report: ReductionReport) -> bool:
+        if self.incremental and solution.known_inert:
+            return False
         for nested in self._nested_solutions(solution):
             if self._has_applicable_rule(nested, report):
                 return True
         for rule in self._ordered_rules(solution):
+            if self.incremental and not self._plausible(rule, solution):
+                continue
             report.match_attempts += 1
             if self._find_match_excluding_self(rule, solution) is not None:
                 return True
+        if self.incremental:
+            # nothing can fire here or below: remember it (atoms untouched —
+            # `is_inert` stays non-mutating, only the cache marker is set).
+            solution.note_inert()
         return False
 
     @staticmethod

@@ -5,10 +5,18 @@ atoms of the solution simultaneously, under a single consistent binding
 environment, and subject to the rule's reaction condition.  This module
 implements that search.
 
-The matcher is a straightforward backtracking search.  Solutions handled by
-the distributed GinFlow engine are small (a handful of atoms per service
-agent), so clarity wins over cleverness here; the centralised engine indexes
-candidate atoms per pattern to keep large solutions tractable.
+The matcher is a backtracking search that draws its candidates from the
+multiset's head-symbol index (:meth:`~repro.hocl.multiset.Multiset.candidate_entries`)
+instead of scanning every atom for every pattern: a pattern such as
+``RES : <...>`` only ever sees the tuples whose head is ``RES``.  Because
+every bucket preserves insertion order and is a guaranteed superset of the
+atoms its patterns can match, the sequence of matches produced — and hence
+the engine's reduction trace — is identical to a naive full scan.
+
+Distinctness is tracked per *occurrence* (the index hands out one entry per
+stored occurrence), so a solution holding the same atom object twice — e.g.
+two ``ADAPT`` markers injected by repeated messages — still offers both
+occurrences to multi-pattern rules.
 """
 
 from __future__ import annotations
@@ -52,7 +60,7 @@ def find_matches(
     ----------
     patterns:
         The rule's left-hand-side patterns, each of which must match a
-        different atom.
+        different atom occurrence.
     solution:
         The multiset to search.
     condition:
@@ -62,20 +70,25 @@ def find_matches(
         Optional starting environment (used by the engine to pre-bind
         context variables such as the owning task name).
     """
-    atoms = solution.atoms()
     base: Bindings = dict(initial_bindings) if initial_bindings else {}
+    # Snapshot the top-level candidate lists so this level of the search is
+    # stable across mutations between yielded matches.  Sub-solution
+    # patterns iterate live bucket views for speed: consume at most one
+    # match per search (as the engine does) before mutating the solution.
+    candidate_lists = [solution.candidate_entries(pattern.index_key()) for pattern in patterns]
 
-    def recurse(index: int, used: list[int], env: Bindings) -> Iterator[Match]:
+    def recurse(index: int, used: list, env: Bindings) -> Iterator[Match]:
         if index == len(patterns):
             if condition is None or condition(env):
-                yield Match(bindings=env, consumed=[atoms[position] for position in used])
+                yield Match(bindings=env, consumed=[entry.atom for entry in used])
             return
         pattern = patterns[index]
-        for position, candidate in enumerate(atoms):
-            if position in used:
+        for entry in candidate_lists[index]:
+            # `used` is at most len(patterns) long; identity scan is cheap.
+            if any(entry is taken for taken in used):
                 continue
-            for extended in pattern.match(candidate, env):
-                yield from recurse(index + 1, used + [position], extended)
+            for extended in pattern.match(entry.atom, env):
+                yield from recurse(index + 1, used + [entry], extended)
 
     yield from recurse(0, [], base)
 

@@ -8,15 +8,82 @@ atoms into it.
 The implementation keeps an insertion-ordered list internally (which makes
 reduction deterministic for a given engine policy and greatly simplifies
 testing) but none of the public semantics depend on that order.
+
+Incrementality support
+----------------------
+Reduction dominates the cost of large GinFlow runs, so the multiset carries
+three pieces of book-keeping that let the engine work incrementally:
+
+* a **version counter** (:attr:`version`), bumped on every mutation and
+  propagated up the chain of enclosing solutions (a sub-solution knows the
+  multiset that currently contains it), so any change anywhere in the tree
+  invalidates the cached inertness of every ancestor;
+* a **candidate index** keyed by the "head shape" of each atom (rule name,
+  bare-symbol name, tuple head symbol, or atom kind), from which the matcher
+  draws candidates instead of scanning every atom for every pattern — see
+  :func:`atom_index_keys`;
+* an **inertness marker** (:meth:`note_inert` / :attr:`known_inert`): the
+  engine stamps the version at which a solution was proven inert and skips
+  re-reducing it while the version is unchanged.
+
+The index stores one *occurrence entry* per stored atom (the same atom
+object added twice yields two entries), preserving global insertion order
+within every bucket; this is what keeps the indexed matcher's candidate
+enumeration — and therefore the reduction trace — identical to a naive scan.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator
 
-from .atoms import Atom, Subsolution, Symbol, TupleAtom, to_atom
+from .atoms import Atom, ListAtom, Subsolution, Symbol, TupleAtom, to_atom
 
-__all__ = ["Multiset"]
+__all__ = ["Multiset", "atom_index_keys"]
+
+#: Index key of the bucket holding every rule atom.
+_KIND_RULE = ("kind", "rule")
+
+#: Shared empty bucket returned for absent keys (never mutated).
+_EMPTY_BUCKET: list = []
+
+
+def atom_index_keys(atom: Atom) -> tuple[Any, ...]:
+    """The index buckets ``atom`` belongs to, most specific first.
+
+    Every atom lands in its *kind* bucket ``("kind", atom.kind)``; atoms with
+    a distinguishing head additionally land in a specific bucket:
+
+    * rules → ``("rule", name)``,
+    * bare symbols → ``("symbol", name)``,
+    * tuples with a symbol head → ``("tuple", head_name)``.
+
+    Structurally equal atoms always share the same buckets, so the specific
+    bucket named by a pattern's :meth:`~repro.hocl.patterns.Pattern.index_key`
+    is guaranteed to contain every atom that pattern could match.
+    """
+    kind_key = ("kind", atom.kind)
+    if isinstance(atom, Symbol):
+        return (("symbol", atom.name), kind_key)
+    if isinstance(atom, TupleAtom):
+        head = atom.head_symbol()
+        if head is not None:
+            return (("tuple", head), kind_key)
+        return (kind_key,)
+    if atom.kind == "rule":
+        return (("rule", atom.name), kind_key)  # type: ignore[attr-defined]
+    return (kind_key,)
+
+
+class _Entry:
+    """One stored occurrence of an atom (duplicates get distinct entries)."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: Atom):
+        self.atom = atom
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"_Entry({self.atom!r})"
 
 
 class Multiset:
@@ -29,16 +96,109 @@ class Multiset:
         :func:`~repro.hocl.atoms.to_atom`).
     """
 
-    __slots__ = ("_items",)
+    __slots__ = (
+        "_entries",
+        "_index",
+        "_version",
+        "_parents",
+        "_inert_version",
+        "_rules_cache",
+        "_rules_dirty",
+    )
 
     def __init__(self, contents: Iterable[Any] = ()):  # noqa: B008
-        self._items: list[Atom] = [to_atom(value) for value in contents]
+        self._entries: list[_Entry] = []
+        self._index: dict[Any, list[_Entry]] = {}
+        self._version = 0
+        #: every multiset currently containing this one (via a Subsolution
+        #: atom), used to propagate invalidation upwards.  One entry per
+        #: containment, so aliasing a sub-solution into several solutions —
+        #: or twice into the same one — keeps all of them invalidated.
+        self._parents: list[Multiset] = []
+        self._inert_version = -1
+        self._rules_cache: list[Atom] = []
+        self._rules_dirty = True
+        for value in contents:
+            self.add(value)
+
+    # ------------------------------------------------------------ versioning
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped on every mutation (here or below)."""
+        return self._version
+
+    @property
+    def known_inert(self) -> bool:
+        """Whether the solution was proven inert at its current version."""
+        return self._inert_version == self._version
+
+    def note_inert(self) -> None:
+        """Record that the solution (including nested ones) is inert *now*.
+
+        Called by the reduction engine once no rule can fire anywhere in the
+        solution tree; any later mutation invalidates the marker by bumping
+        the version.
+        """
+        self._inert_version = self._version
+
+    def _touch(self) -> None:
+        """Bump this solution's version and every enclosing solution's.
+
+        Walks the whole parent graph (a solution may be contained several
+        times) with a visited guard, so even pathological aliasing cycles
+        terminate.
+        """
+        self._version += 1
+        if not self._parents:
+            return
+        seen = {id(self)}
+        stack: list[Multiset] = list(self._parents)
+        while stack:
+            node = stack.pop()
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            node._version += 1
+            stack.extend(node._parents)
+
+    def _adopt(self, atom: Atom) -> None:
+        """Register this multiset as a parent of solutions nested in ``atom``."""
+        if isinstance(atom, Subsolution):
+            atom.solution._parents.append(self)
+        elif isinstance(atom, TupleAtom):
+            for element in atom.elements:
+                self._adopt(element)
+        elif isinstance(atom, ListAtom):
+            for item in atom.items:
+                self._adopt(item)
+
+    def _disown(self, atom: Atom) -> None:
+        """Drop one parent registration per solution nested in ``atom``."""
+        if isinstance(atom, Subsolution):
+            parents = atom.solution._parents
+            for index, parent in enumerate(parents):
+                if parent is self:
+                    del parents[index]
+                    break
+        elif isinstance(atom, TupleAtom):
+            for element in atom.elements:
+                self._disown(element)
+        elif isinstance(atom, ListAtom):
+            for item in atom.items:
+                self._disown(item)
 
     # ------------------------------------------------------------------ core
     def add(self, value: Any) -> Atom:
         """Add a single atom (coercing plain values) and return it."""
         atom = to_atom(value)
-        self._items.append(atom)
+        entry = _Entry(atom)
+        self._entries.append(entry)
+        for key in atom_index_keys(atom):
+            self._index.setdefault(key, []).append(entry)
+        if atom.kind == "rule":
+            self._rules_dirty = True
+        self._adopt(atom)
+        self._touch()
         return atom
 
     def add_all(self, values: Iterable[Any]) -> list[Atom]:
@@ -54,9 +214,9 @@ class Multiset:
             If no equal atom is present.
         """
         target = to_atom(atom)
-        for index, item in enumerate(self._items):
-            if item == target:
-                del self._items[index]
+        for index, entry in enumerate(self._entries):
+            if entry.atom == target:
+                self._remove_at(index)
                 return
         raise KeyError(f"atom not in multiset: {target!r}")
 
@@ -75,46 +235,119 @@ class Multiset:
         engine can delete precisely those occurrences even when duplicates
         exist.
         """
-        for index, item in enumerate(self._items):
-            if item is atom:
-                del self._items[index]
+        for index, entry in enumerate(self._entries):
+            if entry.atom is atom:
+                self._remove_at(index)
                 return
         raise KeyError(f"atom object not in multiset: {atom!r}")
 
+    def _remove_at(self, index: int) -> None:
+        entry = self._entries.pop(index)
+        atom = entry.atom
+        for key in atom_index_keys(atom):
+            bucket = self._index.get(key)
+            if bucket is None:
+                continue
+            for position, candidate in enumerate(bucket):
+                if candidate is entry:
+                    del bucket[position]
+                    break
+            if not bucket:
+                del self._index[key]
+        if atom.kind == "rule":
+            self._rules_dirty = True
+        self._disown(atom)
+        self._touch()
+
     def clear(self) -> None:
         """Remove every atom."""
-        self._items.clear()
+        for entry in self._entries:
+            self._disown(entry.atom)
+        self._entries.clear()
+        self._index.clear()
+        self._rules_dirty = True
+        self._touch()
 
     # --------------------------------------------------------------- queries
     def __len__(self) -> int:
-        return len(self._items)
+        return len(self._entries)
 
     def __iter__(self) -> Iterator[Atom]:
-        return iter(list(self._items))
+        return iter([entry.atom for entry in self._entries])
 
     def __contains__(self, value: Any) -> bool:
         target = to_atom(value)
-        return any(item == target for item in self._items)
+        return any(entry.atom == target for entry in self._entries)
 
     def count(self, value: Any) -> int:
         """Number of occurrences equal to ``value``."""
         target = to_atom(value)
-        return sum(1 for item in self._items if item == target)
+        return sum(1 for entry in self._entries if entry.atom == target)
 
     def atoms(self) -> list[Atom]:
         """A snapshot list of the current atoms (safe to iterate while mutating)."""
-        return list(self._items)
+        return [entry.atom for entry in self._entries]
 
     def find(self, predicate: Callable[[Atom], bool]) -> Atom | None:
         """Return the first atom satisfying ``predicate``, or ``None``."""
-        for item in self._items:
-            if predicate(item):
-                return item
+        for entry in self._entries:
+            if predicate(entry.atom):
+                return entry.atom
         return None
 
     def find_all(self, predicate: Callable[[Atom], bool]) -> list[Atom]:
         """Return every atom satisfying ``predicate``."""
-        return [item for item in self._items if predicate(item)]
+        return [entry.atom for entry in self._entries if predicate(entry.atom)]
+
+    # ------------------------------------------------------- index interface
+    def candidate_entries(self, key: Any) -> list[_Entry]:
+        """Occurrence entries a pattern with index key ``key`` should try.
+
+        ``None`` means the pattern is unconstrained: every occurrence is a
+        candidate.  Entries come back in insertion order (a subsequence of
+        the full enumeration order), which is what keeps indexed matching
+        trace-identical to a naive scan.  The returned list is a snapshot,
+        safe to iterate across mutations.
+        """
+        if key is None:
+            return list(self._entries)
+        return list(self._index.get(key, ()))
+
+    def live_entries(self, key: Any = None) -> list[_Entry]:
+        """Like :meth:`candidate_entries` but returning the *live* internal
+        list (no copy) — the matcher's inner loops use this on sub-solutions,
+        where a snapshot per candidate would dominate the match cost.  Callers
+        must not mutate the result nor hold it across solution mutations.
+        """
+        if key is None:
+            return self._entries
+        return self._index.get(key, _EMPTY_BUCKET)
+
+    def candidates(self, key: Any) -> list[Atom]:
+        """The atoms a pattern with index key ``key`` could match (in order)."""
+        return [entry.atom for entry in self.candidate_entries(key)]
+
+    def has_candidates(self, key: Any) -> bool:
+        """Whether at least one atom lives in bucket ``key`` (``None``: any)."""
+        if key is None:
+            return bool(self._entries)
+        return key in self._index
+
+    def rules_by_priority(self) -> list[Atom]:
+        """Rules ordered by the engine policy: priority desc, insertion order.
+
+        The ordering is cached and only recomputed when a rule is added or
+        removed — data mutations (the common case) leave it untouched.
+        """
+        if self._rules_dirty:
+            bucket = self._index.get(_KIND_RULE, ())
+            # stable sort: priority descending, insertion order among equals
+            self._rules_cache = sorted(
+                (entry.atom for entry in bucket),
+                key=lambda rule: -rule.priority,  # type: ignore[attr-defined]
+            )
+            self._rules_dirty = False
+        return self._rules_cache
 
     # ------------------------------------------------ HOCLflow-style helpers
     def find_tuple(self, head: str) -> TupleAtom | None:
@@ -123,18 +356,16 @@ class Multiset:
         This is the idiomatic way to address the ``SRC``/``DST``/``SRV``/
         ``IN``/``PAR``/``RES`` fields of a task sub-solution.
         """
-        for item in self._items:
-            if isinstance(item, TupleAtom) and item.head_symbol() == head:
-                return item
+        bucket = self._index.get(("tuple", head))
+        if bucket:
+            atom = bucket[0].atom
+            assert isinstance(atom, TupleAtom)
+            return atom
         return None
 
     def find_tuples(self, head: str) -> list[TupleAtom]:
         """Return every tuple atom whose head symbol is ``head``."""
-        return [
-            item
-            for item in self._items
-            if isinstance(item, TupleAtom) and item.head_symbol() == head
-        ]
+        return [entry.atom for entry in self._index.get(("tuple", head), ())]  # type: ignore[misc]
 
     def replace_tuple(self, head: str, new_tuple: TupleAtom) -> None:
         """Replace the (single) tuple with head ``head`` by ``new_tuple``.
@@ -148,7 +379,7 @@ class Multiset:
 
     def has_symbol(self, name: str) -> bool:
         """Whether a bare :class:`~repro.hocl.atoms.Symbol` ``name`` is present."""
-        return any(isinstance(item, Symbol) and item.name == name for item in self._items)
+        return ("symbol", name) in self._index
 
     def remove_symbol(self, name: str) -> bool:
         """Remove one occurrence of symbol ``name`` if present."""
@@ -156,25 +387,22 @@ class Multiset:
 
     def subsolutions(self) -> list[Subsolution]:
         """Every top-level sub-solution atom."""
-        return [item for item in self._items if isinstance(item, Subsolution)]
+        return [entry.atom for entry in self._index.get(("kind", "solution"), ())]  # type: ignore[misc]
 
     def rules(self) -> list[Atom]:
         """Every top-level rule atom (higher-order content of the solution)."""
-        from .rules import Rule  # local import to avoid a cycle
-
-        return [item for item in self._items if isinstance(item, Rule)]
+        return [entry.atom for entry in self._index.get(_KIND_RULE, ())]
 
     def non_rule_atoms(self) -> list[Atom]:
         """Every top-level atom that is not a rule (the 'data' of the solution)."""
-        from .rules import Rule
-
-        return [item for item in self._items if not isinstance(item, Rule)]
+        return [entry.atom for entry in self._entries if entry.atom.kind != "rule"]
 
     # ------------------------------------------------------------- structure
     def copy(self) -> "Multiset":
         """Deep copy of the multiset (sub-solutions are copied recursively)."""
         clone = Multiset()
-        clone._items = [item.copy() for item in self._items]
+        for entry in self._entries:
+            clone.add(entry.atom.copy())
         return clone
 
     def union(self, other: "Multiset") -> "Multiset":
@@ -192,7 +420,8 @@ class Multiset:
         measure.
         """
         total = 0
-        for item in self._items:
+        for entry in self._entries:
+            item = entry.atom
             total += 1
             if isinstance(item, Subsolution):
                 total += item.solution.size_recursive()
@@ -208,10 +437,11 @@ class Multiset:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Multiset):
             return NotImplemented
-        if len(self._items) != len(other._items):
+        if len(self._entries) != len(other._entries):
             return False
-        remaining = list(other._items)
-        for item in self._items:
+        remaining = [entry.atom for entry in other._entries]
+        for entry in self._entries:
+            item = entry.atom
             for index, candidate in enumerate(remaining):
                 if candidate == item:
                     del remaining[index]
@@ -221,7 +451,7 @@ class Multiset:
         return True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"Multiset({self._items!r})"
+        return f"Multiset({self.atoms()!r})"
 
     def __str__(self) -> str:
-        return "<" + ", ".join(str(item) for item in self._items) + ">"
+        return "<" + ", ".join(str(entry.atom) for entry in self._entries) + ">"

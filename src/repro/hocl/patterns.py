@@ -44,6 +44,7 @@ from typing import Any, Iterable, Iterator
 
 from .atoms import Atom, ListAtom, Subsolution, Symbol, TupleAtom, to_atom
 from .errors import PatternError
+from .multiset import atom_index_keys
 
 __all__ = [
     "Bindings",
@@ -93,6 +94,18 @@ class Pattern:
         """Names of all variables (including omegas) referenced by the pattern."""
         return set()
 
+    def index_key(self) -> Any | None:
+        """The multiset index bucket this pattern draws candidates from.
+
+        ``None`` means the pattern is unconstrained (any atom could match).
+        A non-``None`` key is a *guarantee*: every atom the pattern can
+        match carries that key (see
+        :func:`~repro.hocl.multiset.atom_index_keys`), so restricting the
+        search to the bucket never loses a match — and, because buckets
+        preserve insertion order, never reorders the matches found.
+        """
+        return None
+
 
 class Var(Pattern):
     """Match any single atom and bind it to ``name``.
@@ -129,6 +142,12 @@ class Var(Pattern):
 
     def variables(self) -> set[str]:
         return {self.name}
+
+    def index_key(self) -> Any | None:
+        # "number" spans the int and float buckets; fall back to a full scan.
+        if self.kind is None or self.kind == "number":
+            return None
+        return ("kind", self.kind)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Var({self.name!r}{', ' + repr(self.kind) if self.kind else ''})"
@@ -173,6 +192,11 @@ class Literal(Pattern):
     def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
         if atom == self.atom:
             yield bindings
+
+    def index_key(self) -> Any | None:
+        # Structural equality implies identical index keys, so the literal's
+        # own most-specific bucket contains every atom it can match.
+        return atom_index_keys(self.atom)[0]
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Literal({self.atom!r})"
@@ -236,6 +260,15 @@ class TuplePattern(Pattern):
             names |= self.rest.variables()
         return names
 
+    def index_key(self) -> Any | None:
+        # ``HEAD : ...`` patterns (the HOCLflow idiom) restrict the search to
+        # the bucket of tuples with that head symbol.
+        if self.elements:
+            first = self.elements[0]
+            if isinstance(first, Literal) and isinstance(first.atom, Symbol):
+                return ("tuple", first.atom.name)
+        return ("kind", "tuple")
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"TuplePattern({', '.join(repr(e) for e in self.elements)}, rest={self.rest!r})"
 
@@ -271,28 +304,39 @@ class SolutionPattern(Pattern):
     def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
         if not isinstance(atom, Subsolution):
             return
-        contents = list(atom.solution)
-        if self.rest is None and len(contents) != len(self.elements):
+        solution = atom.solution
+        size = len(solution)
+        if self.rest is None and size != len(self.elements):
             return
-        if len(contents) < len(self.elements):
+        if size < len(self.elements):
             return
+        # Draw each element pattern's candidates from the sub-solution's own
+        # head-symbol index (same subsequence-of-insertion-order guarantee as
+        # the top-level matcher, so enumeration order is unchanged).  Live
+        # bucket views: nothing mutates the solution during one match search.
+        candidate_lists = [solution.live_entries(e.index_key()) for e in self.elements]
+        occurrences = solution.live_entries()
 
-        def recurse(index: int, used: list[int], env: Bindings) -> Iterator[Bindings]:
+        def recurse(index: int, used: list, env: Bindings) -> Iterator[Bindings]:
             if index == len(self.elements):
                 if self.rest is None:
                     yield env
                 else:
-                    remainder = [c for pos, c in enumerate(contents) if pos not in used]
+                    remainder = [
+                        entry.atom
+                        for entry in occurrences
+                        if not any(entry is taken for taken in used)
+                    ]
                     extended = _bind(env, self.rest.name, remainder)
                     if extended is not None:
                         yield extended
                 return
             pattern = self.elements[index]
-            for pos, candidate in enumerate(contents):
-                if pos in used:
+            for entry in candidate_lists[index]:
+                if any(entry is taken for taken in used):
                     continue
-                for extended in pattern.match(candidate, env):
-                    yield from recurse(index + 1, used + [pos], extended)
+                for extended in pattern.match(entry.atom, env):
+                    yield from recurse(index + 1, used + [entry], extended)
 
         yield from recurse(0, [], bindings)
 
@@ -303,6 +347,9 @@ class SolutionPattern(Pattern):
         if self.rest is not None:
             names |= self.rest.variables()
         return names
+
+    def index_key(self) -> Any | None:
+        return ("kind", "solution")
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"SolutionPattern({', '.join(repr(e) for e in self.elements)}, rest={self.rest!r})"
@@ -337,6 +384,11 @@ class RulePattern(Pattern):
 
     def variables(self) -> set[str]:
         return {self.bind_as} if self.bind_as else set()
+
+    def index_key(self) -> Any | None:
+        if self.name is not None:
+            return ("rule", self.name)
+        return ("kind", "rule")
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"RulePattern(name={self.name!r}, bind_as={self.bind_as!r})"

@@ -101,6 +101,7 @@ class Rule(Atom):
         "keep_matched",
         "effect",
         "priority",
+        "pattern_index_keys",
     )
     kind = "rule"
 
@@ -127,6 +128,11 @@ class Rule(Atom):
         self.keep_matched = bool(keep_matched)
         self.effect = effect
         self.priority = int(priority)
+        #: Per-pattern multiset index keys, precomputed once (rules are
+        #: immutable).  The engine consults them to skip rules that cannot
+        #: possibly match — e.g. after a reaction, only rules whose head
+        #: symbols are present in the solution are tried again.
+        self.pattern_index_keys = tuple(p.index_key() for p in self.patterns)
 
     # ----------------------------------------------------------- constructors
     @classmethod

@@ -40,8 +40,13 @@ class CostModel:
         completion): deserialisation, cache read/write.
     reduction_unit_cost:
         Cost per "reduction unit" (one match attempt over one atom of the
-        local solution) — the knob that makes coordination time grow with
-        the number and connectivity of services.
+        local solution, see
+        :meth:`repro.hocl.engine.ReductionReport.reduction_units`) — the
+        knob that makes coordination time grow with the number and
+        connectivity of services.  Under the incremental engine a match
+        attempt is only charged when a rule's search actually runs:
+        index-refuted rules and already-inert sub-solutions are free, so
+        the simulated interpreter cost tracks the real one.
     invocation_overhead:
         Fixed overhead added to every service invocation (fork/exec of the
         wrapped executable, input staging).
@@ -85,7 +90,13 @@ class CostModel:
         raise ValueError(f"unknown broker {name!r}")
 
     def handling_cost(self, reduction_units: float) -> float:
-        """Virtual time consumed by one agent handling step."""
+        """Virtual time consumed by one agent handling step.
+
+        ``reduction_units`` is the accounting produced by
+        :meth:`~repro.hocl.engine.ReductionReport.reduction_units`; the
+        agents accumulate it per stimulus so the charged time follows the
+        match searches the (incremental) interpreter actually performed.
+        """
         return self.handling_base + self.reduction_unit_cost * max(0.0, reduction_units)
 
     def replay_cost(self, message_count: int) -> float:

@@ -107,7 +107,13 @@ class Timeout(Event):
 
 
 class AllOf(Event):
-    """An event that succeeds once every event of ``events`` has triggered."""
+    """An event that succeeds once every event of ``events`` has succeeded.
+
+    If any member event *fails*, the join fails immediately with the first
+    failure's exception — a process waiting on a batch of tasks sees the
+    fault instead of a success carrying an exception object among the
+    values.  ``AllOf([])`` succeeds immediately with ``[]``.
+    """
 
     __slots__ = ("_pending",)
 
@@ -122,9 +128,16 @@ class AllOf(Event):
 
         def on_done(index: int) -> Callable[[Event], None]:
             def callback(event: Event) -> None:
+                if self.triggered:
+                    # a sibling already failed the join: swallow nothing more
+                    return
+                if not event.ok:
+                    # propagate the first failure to every waiter
+                    self.fail(event.value)
+                    return
                 results[index] = event.value
                 self._pending -= 1
-                if self._pending == 0 and not self.triggered:
+                if self._pending == 0:
                     self.succeed(results)
 
             return callback
@@ -134,16 +147,31 @@ class AllOf(Event):
 
 
 class AnyOf(Event):
-    """An event that succeeds as soon as one of ``events`` triggers."""
+    """An event that mirrors the first of ``events`` to trigger.
+
+    The join succeeds with the first *successful* event's value and fails
+    with the first *failed* event's exception — it never delivers an
+    exception object as a success value.  ``AnyOf([])`` succeeds
+    immediately with ``[]`` (matching ``AllOf([])``) instead of leaving the
+    waiter deadlocked on an event that can never trigger.
+    """
 
     __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
+        events = list(events)
+        if not events:
+            self.succeed([])
+            return
 
         def callback(event: Event) -> None:
-            if not self.triggered:
+            if self.triggered:
+                return
+            if event.ok:
                 self.succeed(event.value)
+            else:
+                self.fail(event.value)
 
         for event in events:
             event.add_callback(callback)

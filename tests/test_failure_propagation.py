@@ -1,0 +1,99 @@
+"""End-to-end failure propagation through the event layer into sweeps.
+
+A fault injected by :class:`repro.services.FailureModel` fails the
+invocation *event*; a process joining a batch of invocations with
+``AllOf`` must observe that failure, and the failure must surface in the
+:class:`~repro.experiments.report.SweepReport` rows — before the simkernel
+fixes, ``AllOf`` recorded the exception object as a plain value and the
+join still succeeded, so fault-injection sweeps silently reported success.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import Experiment
+from repro.runtime import GinFlowConfig
+from repro.simkernel import RandomStreams, Simulator
+
+
+def _stage_runner(workflow, config, cell):
+    """Simulate one parallel stage of invocations joined by ``AllOf``.
+
+    Every task's invocation is an event; the cell's failure model decides
+    (seeded, through the event layer — never by peeking at agent state)
+    whether the invocation crashes, in which case its event *fails*.  The
+    watcher process only learns about faults through the join.
+    """
+    sim = Simulator()
+    randomness = RandomStreams(config.seed)
+    model = config.failures
+    task_count = int(cell.get("tasks", 8))
+    durations = [30.0 + 10.0 * index for index in range(task_count)]
+
+    events = []
+    injected = 0
+    for index, duration in enumerate(durations):
+        event = sim.event()
+        crash_after = model.crash_time(duration, randomness, label=f"crash:{index}")
+        if crash_after is not None:
+            injected += 1
+            sim.call_in(
+                crash_after,
+                lambda e=event, i=index: e.fail(RuntimeError(f"task-{i} crashed")),
+            )
+        else:
+            sim.call_in(duration, lambda e=event, i=index: e.succeed(f"task-{i} done"))
+        events.append(event)
+
+    outcome: dict[str, object] = {}
+
+    def watcher():
+        try:
+            values = yield sim.all_of(events)
+        except RuntimeError as exc:
+            outcome["error"] = str(exc)
+            return "failed"
+        outcome["values"] = values
+        return "completed"
+
+    sim.process(watcher())
+    sim.run()
+    return {
+        "succeeded": "values" in outcome,
+        "surfaced_error": outcome.get("error"),
+        "failures": injected,
+    }
+
+
+class TestFailureSurfacesInSweeps:
+    def _sweep(self):
+        experiment = Experiment(
+            name="failure-propagation",
+            grid={"failure_probability": [0.0, 0.9]},
+            config=GinFlowConfig(seed=7, broker="kafka"),
+            repeats=3,
+            runner=_stage_runner,
+        )
+        return experiment.run()
+
+    def test_faults_fail_the_join_and_reach_the_report(self):
+        report = self._sweep()
+        rows = report.rows
+        assert len(rows) == 6
+        clean = [row for row in rows if row["failure_probability"] == 0.0]
+        faulty = [row for row in rows if row["failure_probability"] == 0.9]
+        # no injected fault: the join succeeds and reports no failures
+        assert all(row["succeeded"] and row["failures"] == 0 for row in clean)
+        # p=0.9 over 8 exposed tasks: every seeded repeat injects faults
+        assert all(row["failures"] > 0 for row in faulty)
+        # and every injected fault surfaces: the AllOf join must fail —
+        # never succeed with an exception object among its values
+        for row in faulty:
+            assert not row["succeeded"]
+            assert row["surfaced_error"] and "crashed" in row["surfaced_error"]
+
+    def test_failures_aggregate_per_cell(self):
+        report = self._sweep()
+        cells = report.cells(metrics=("failures",))
+        by_p = {cell["failure_probability"]: cell for cell in cells}
+        assert by_p[0.0]["failures_mean"] == 0.0
+        assert by_p[0.9]["failures_mean"] > 0.0

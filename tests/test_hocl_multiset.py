@@ -136,3 +136,98 @@ class TestStructure:
 
     def test_str_rendering(self):
         assert str(Multiset([1])) == "<1>"
+
+
+class TestDirtyTracking:
+    def test_version_bumps_on_mutation(self):
+        ms = Multiset()
+        v0 = ms.version
+        ms.add(1)
+        assert ms.version > v0
+        v1 = ms.version
+        ms.remove(1)
+        assert ms.version > v1
+
+    def test_nested_mutation_invalidates_ancestors(self):
+        inner = Multiset([1])
+        middle = Multiset([Subsolution(inner)])
+        outer = Multiset([TupleAtom([Symbol("T"), Subsolution(middle)])])
+        before = outer.version
+        inner.add(2)
+        assert outer.version > before
+        assert middle.version > before
+
+    def test_inert_marker_survives_reads_but_not_writes(self):
+        ms = Multiset([1, 2])
+        ms.note_inert()
+        assert ms.known_inert
+        ms.atoms(), list(ms), 1 in ms  # reads do not invalidate
+        assert ms.known_inert
+        ms.add(3)
+        assert not ms.known_inert
+
+    def test_nested_write_invalidates_parent_inert_marker(self):
+        inner = Multiset()
+        ms = Multiset([Subsolution(inner)])
+        ms.note_inert()
+        inner.add(1)
+        assert not ms.known_inert
+
+
+class TestCandidateIndex:
+    def test_symbol_and_tuple_buckets(self):
+        ms = Multiset([Symbol("ADAPT"), TupleAtom([Symbol("SRC"), 1]), 7])
+        assert [str(a) for a in ms.candidates(("symbol", "ADAPT"))] == ["ADAPT"]
+        assert [str(a) for a in ms.candidates(("tuple", "SRC"))] == ["SRC:1"]
+        assert ms.has_candidates(("kind", "int"))
+        assert not ms.has_candidates(("tuple", "DST"))
+
+    def test_none_key_returns_all_in_insertion_order(self):
+        ms = Multiset([3, Symbol("A"), 1])
+        assert [str(a) for a in ms.candidates(None)] == ["3", "A", "1"]
+
+    def test_bucket_preserves_insertion_order_with_duplicates(self):
+        marker = Symbol("ADAPT")
+        ms = Multiset()
+        ms.add(marker)
+        ms.add(Symbol("OTHER"))
+        ms.add(marker)  # the same object twice: two distinct occurrences
+        assert len(ms.candidate_entries(("symbol", "ADAPT"))) == 2
+        ms.remove(marker)
+        assert len(ms.candidate_entries(("symbol", "ADAPT"))) == 1
+
+    def test_index_follows_removal(self):
+        src = TupleAtom([Symbol("SRC"), 1])
+        ms = Multiset([src, TupleAtom([Symbol("SRC"), 2])])
+        ms.remove_identical(src)
+        assert [str(a) for a in ms.candidates(("tuple", "SRC"))] == ["SRC:2"]
+        assert ms.find_tuple("SRC") is not None
+
+    def test_rules_by_priority_cached_ordering(self):
+        low = Rule("low", [Var("x", kind="int")], [], priority=0)
+        high = Rule("high", [Var("x", kind="int")], [], priority=5)
+        ms = Multiset([low, high])
+        assert [r.name for r in ms.rules_by_priority()] == ["high", "low"]
+        ms.remove_identical(high)
+        assert [r.name for r in ms.rules_by_priority()] == ["low"]
+
+    def test_aliased_subsolution_invalidates_every_container(self):
+        # the same sub-solution object contained in two multisets (and twice
+        # in one) must invalidate all of its containers on mutation
+        inner = Multiset([1])
+        sub = Subsolution(inner)
+        first = Multiset([sub, sub])
+        second = Multiset([sub])
+        v_first, v_second = first.version, second.version
+        inner.add(2)
+        assert first.version > v_first
+        assert second.version > v_second
+        first.remove_identical(sub)  # one occurrence gone, one left
+        v_first = first.version
+        inner.add(3)
+        assert first.version > v_first
+        second.remove_identical(sub)
+        v_first, v_second = first.version, second.version
+        inner.add(4)
+        assert first.version > v_first  # still contained once
+        assert second.version == v_second  # fully disowned

@@ -15,6 +15,7 @@ from repro.hocl import (
     Omega,
     PatternError,
     ReductionEngine,
+    ReductionReport,
     Ref,
     Rule,
     RuleError,
@@ -283,3 +284,131 @@ class TestReduction:
         b = reduce_solution(Multiset([3, 4, max_rule()]))
         a.merge(b)
         assert a.reactions == 2
+
+
+class TestIncrementalReduction:
+    """The incremental engine must be a pure optimisation: identical traces,
+    strictly less (re-)matching work, and non-mutating inertness checks."""
+
+    def _workflowish_solution(self):
+        """A small nested solution exercising sub-solutions, one-shot rules,
+        priorities and higher-order removal in one program."""
+        extract = replace_one(
+            "extract", [SolutionPattern(Var("x", kind="int"), rest=Omega("w"))], [Ref("x")]
+        )
+        clean = replace_one(
+            "clean", [SolutionPattern(RulePattern(name="max"), rest=Omega("w"))], [Splice("w")]
+        )
+        return Multiset(
+            [
+                Subsolution([3, 7, max_rule()]),
+                Subsolution([2, 9, 4, max_rule()]),
+                Symbol("ADAPT"),
+                extract,
+                clean,
+            ]
+        )
+
+    @staticmethod
+    def _trace(report):
+        return [(r.rule, r.depth, r.consumed, r.produced) for r in report.history]
+
+    def test_identical_history_to_naive_engine(self):
+        incremental = self._workflowish_solution()
+        naive = self._workflowish_solution()
+        report_inc = ReductionEngine(incremental=True).reduce(incremental)
+        report_naive = ReductionEngine(incremental=False).reduce(naive)
+        assert self._trace(report_inc) == self._trace(report_naive)
+        assert incremental == naive
+        assert report_inc.match_attempts <= report_naive.match_attempts
+
+    def test_rereducing_inert_solution_is_free(self):
+        solution = Multiset([2, 3, 9, max_rule()])
+        engine = ReductionEngine()
+        engine.reduce(solution)
+        again = engine.reduce(solution)
+        assert again.reactions == 0
+        assert again.match_attempts == 0  # inertness cache short-circuits
+        assert again.inert
+
+    def test_mutation_reenables_reduction(self):
+        solution = Multiset([2, 9, max_rule()])
+        engine = ReductionEngine()
+        engine.reduce(solution)
+        solution.add(11)
+        report = engine.reduce(solution)
+        assert report.reactions == 1
+        assert IntAtom(11) in solution
+        assert IntAtom(9) not in solution
+
+    def test_nested_mutation_reenables_outer_reduction(self):
+        extract = replace_one(
+            "extract", [SolutionPattern(Var("x", kind="int"), rest=Omega("w"))], []
+        )
+        inner = Multiset([])
+        solution = Multiset([Subsolution(inner), extract])
+        engine = ReductionEngine()
+        engine.reduce(solution)  # nothing to do: inner is empty
+        inner.add(5)  # dirty the nested solution only
+        report = engine.reduce(solution)
+        assert report.reactions == 1
+
+    def test_index_refuted_rules_are_not_charged(self):
+        # `max` needs integers: with none present the indexed engine proves
+        # inapplicability from the (empty) int bucket without a search.
+        solution = Multiset([Symbol("A"), max_rule()])
+        report = ReductionEngine(incremental=True).reduce(solution)
+        assert report.match_attempts == 0
+        assert report.inert
+        naive = ReductionEngine(incremental=False).reduce(Multiset([Symbol("A"), max_rule()]))
+        assert naive.match_attempts == 1
+
+    def test_is_inert_leaves_solution_bit_identical(self):
+        solution = self._workflowish_solution()
+        ReductionEngine().reduce(solution)
+        engine = ReductionEngine()
+        before = solution.atoms()
+        nested_before = [list(sub.solution) for sub in solution.subsolutions()]
+        assert engine.is_inert(solution)
+        after = solution.atoms()
+        nested_after = [list(sub.solution) for sub in solution.subsolutions()]
+        # identical objects in identical order, at every level
+        assert len(before) == len(after)
+        assert all(a is b for a, b in zip(before, after))
+        assert all(
+            len(xs) == len(ys) and all(x is y for x, y in zip(xs, ys))
+            for xs, ys in zip(nested_before, nested_after)
+        )
+
+    def test_is_inert_match_attempt_accounting_consistent(self):
+        # is_inert and reduce must count attempts the same way: a solution
+        # proven inert by reduce() costs is_inert() nothing new, and a fresh
+        # engine re-proving it performs the same searches reduce() would.
+        first = self._workflowish_solution()
+        second = self._workflowish_solution()
+        engine = ReductionEngine()
+        engine.reduce(first)
+        report = ReductionReport()
+        assert not engine._has_applicable_rule(first, report)
+        assert report.match_attempts == 0  # cached inertness
+
+        fresh = ReductionEngine()
+        fresh_report = ReductionReport()
+        ReductionEngine(incremental=False).reduce(second)  # no marks left behind
+        assert not fresh._has_applicable_rule(second, fresh_report)
+        probe = ReductionReport()
+        assert not fresh._has_applicable_rule(self._reduced_copy(), probe)
+        assert fresh_report.match_attempts == probe.match_attempts
+
+    def _reduced_copy(self):
+        solution = self._workflowish_solution()
+        ReductionEngine(incremental=False).reduce(solution)
+        return solution
+
+    def test_step_respects_inertness_cache(self):
+        solution = Multiset([1, 2, max_rule()])
+        engine = ReductionEngine()
+        engine.reduce(solution)
+        assert engine.step(solution) is False
+        solution.add(3)
+        assert engine.step(solution) is True

@@ -111,6 +111,76 @@ class TestEvents:
         combined = sim.all_of([])
         assert combined.triggered
 
+    def test_all_of_fails_on_member_failure(self):
+        sim = Simulator()
+        good, bad = sim.event(), sim.event()
+        combined = sim.all_of([good, bad])
+        error = RuntimeError("boom")
+        bad.fail(error)
+        sim.run()
+        assert combined.triggered
+        assert not combined.ok
+        assert combined.value is error
+        # the late success of the sibling must not re-trigger the join
+        good.succeed("late")
+        sim.run()
+        assert not combined.ok
+
+    def test_all_of_propagates_first_failure_only(self):
+        sim = Simulator()
+        first, second = sim.event(), sim.event()
+        combined = sim.all_of([first, second])
+        e1, e2 = RuntimeError("first"), RuntimeError("second")
+        first.fail(e1)
+        second.fail(e2)
+        sim.run()
+        assert not combined.ok
+        assert combined.value is e1
+
+    def test_process_sees_all_of_failure(self):
+        sim = Simulator()
+        member = sim.event()
+        caught = []
+
+        def waiter():
+            try:
+                yield sim.all_of([sim.timeout(1.0, "ok"), member])
+            except RuntimeError as exc:
+                caught.append(exc)
+            return "handled"
+
+        process = sim.process(waiter())
+        error = RuntimeError("task crashed")
+        sim.call_in(0.5, lambda: member.fail(error))
+        sim.run()
+        assert caught == [error]
+        assert process.value == "handled"
+
+    def test_any_of_fails_on_failed_winner(self):
+        sim = Simulator()
+        slow, bad = sim.timeout(5.0, "slow"), sim.event()
+        combined = sim.any_of([slow, bad])
+        error = RuntimeError("boom")
+        bad.fail(error)
+        sim.run()
+        assert not combined.ok
+        assert combined.value is error
+
+    def test_any_of_success_still_wins(self):
+        sim = Simulator()
+        combined = sim.any_of([sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+        sim.run()
+        assert combined.ok
+        assert combined.value == "fast"
+
+    def test_any_of_empty_triggers_immediately(self):
+        # AnyOf([]) used to deadlock (never trigger); it now matches AllOf([])
+        sim = Simulator()
+        combined = sim.any_of([])
+        assert combined.triggered
+        assert combined.ok
+        assert combined.value == []
+
 
 class TestProcesses:
     def test_process_waits_on_timeouts(self):
