@@ -41,16 +41,31 @@ class TimelineEvent:
 
 
 class Coordinator:
-    """Tracks workflow status from agents' updates and detects completion."""
+    """Tracks workflow status from agents' updates and detects completion.
 
-    def __init__(self, exit_tasks: list[str], on_complete: Callable[[float], None] | None = None):
+    The run *completes* either when every exit task holds a result
+    (``succeeded`` is then ``True``) or — fail-fast — as soon as an exit
+    task reports a terminal ``ERROR``: one it holds itself and that no
+    adaptation can repair (``succeeded`` is then ``False``).  Tasks listed
+    in ``adaptable_tasks`` (their failure triggers an adaptation plan) never
+    fail the run: their ERROR starts the recovery instead of ending it.
+    """
+
+    def __init__(
+        self,
+        exit_tasks: list[str],
+        on_complete: Callable[[float], None] | None = None,
+        adaptable_tasks: set[str] | None = None,
+    ):
         if not exit_tasks:
             raise ValueError("the coordinator needs at least one exit task")
         self.exit_tasks = list(exit_tasks)
         self.on_complete = on_complete
+        self.adaptable_tasks = set(adaptable_tasks or ())
         self.statuses: dict[str, TaskStatus] = {}
         self.timeline: list[TimelineEvent] = []
         self.completed = False
+        self.succeeded = False
         self.completion_time: float | None = None
         self.status_updates = 0
 
@@ -79,11 +94,22 @@ class Coordinator:
     def _check_completion(self, time: float) -> None:
         if self.completed:
             return
+        all_hold_results = True
         for task in self.exit_tasks:
             status = self.statuses.get(task)
-            if status is None or not status.has_result:
+            if status is not None and status.has_error and not status.has_result and task not in self.adaptable_tasks:
+                # Terminal exit-task error: fail fast instead of blocking
+                # until timeout (threaded) or draining the queue (simulated).
+                self._finish(time, succeeded=False)
                 return
+            if status is None or not status.has_result:
+                all_hold_results = False
+        if all_hold_results:
+            self._finish(time, succeeded=True)
+
+    def _finish(self, time: float, succeeded: bool) -> None:
         self.completed = True
+        self.succeeded = succeeded
         self.completion_time = time
         if self.on_complete is not None:
             self.on_complete(time)

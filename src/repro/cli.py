@@ -3,6 +3,7 @@
 Usage::
 
     ginflow run workflow.json --mode simulated --executor mesos --broker kafka --nodes 10
+    ginflow run workflow.json --mode asyncio
     ginflow sweep workflow.json --param nodes=5,10,15 --param broker=activemq,kafka --repeats 3
     ginflow backends
     ginflow validate workflow.json

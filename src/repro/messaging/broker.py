@@ -159,6 +159,10 @@ class Broker:
         """Total number of messages published so far (diagnostics)."""
         raise NotImplementedError
 
+    def delivered_count(self) -> int:
+        """Total number of messages handed to subscribers so far."""
+        raise NotImplementedError
+
 
 class InProcessBroker(Broker):
     """A thread-safe, in-process broker used by the threaded runtime.
@@ -173,6 +177,7 @@ class InProcessBroker(Broker):
         self._subscribers: dict[str, list[Callable[[Message], None]]] = {}
         self._log = MessageLog() if profile.persistent else None
         self._published = 0
+        self._delivered = 0
         self._lock = threading.Lock()
 
     def publish(self, message: Message) -> None:
@@ -181,6 +186,7 @@ class InProcessBroker(Broker):
         with self._lock:
             self._published += 1
             callbacks = list(self._subscribers.get(message.topic, []))
+            self._delivered += len(callbacks)
         for callback in callbacks:
             callback(message)
 
@@ -201,6 +207,12 @@ class InProcessBroker(Broker):
 
     def published_count(self) -> int:
         return self._published
+
+    def delivered_count(self) -> int:
+        """Messages actually handed to subscriber callbacks (real accounting,
+        not an echo of the publish counter: a message published to a topic
+        nobody subscribes to is published but never delivered)."""
+        return self._delivered
 
     def subscriber_count(self, topic: str | None = None) -> int:
         """Number of subscriptions (for one topic, or overall)."""

@@ -42,6 +42,11 @@ __all__ = [
     "run_simulation",
     "ThreadedRun",
     "run_threaded",
+    "AsyncioRun",
+    "run_asyncio",
+    "EnactmentEngine",
+    "AgentHost",
+    "ReportAssembler",
     "EXECUTION_MODES",
     "EXECUTORS",
     "BROKERS",
@@ -71,6 +76,11 @@ _LAZY = {
     "run_simulation": (".simulation", "run_simulation"),
     "ThreadedRun": (".threaded", "ThreadedRun"),
     "run_threaded": (".threaded", "run_threaded"),
+    "AsyncioRun": (".aio", "AsyncioRun"),
+    "run_asyncio": (".aio", "run_asyncio"),
+    "EnactmentEngine": (".enactment", "EnactmentEngine"),
+    "AgentHost": (".enactment", "AgentHost"),
+    "ReportAssembler": (".enactment", "ReportAssembler"),
 }
 
 # Registry-derived views (recomputed on every access, never cached).

@@ -1,0 +1,187 @@
+"""The asyncio local runtime: one event loop, agents as tasks, no threads.
+
+This is the proof that the enactment protocol is runtime-agnostic: the whole
+driver fits in ~100 lines because everything protocol-shaped — action
+dispatch, invocation lifecycle, status routing, fail-fast completion, report
+rows — comes from :mod:`repro.runtime.enactment`.  What this module adds is
+only the asyncio hosting decisions:
+
+* every service agent is an :class:`asyncio.Task` draining its own
+  :class:`asyncio.Queue` (the broker subscription is ``put_nowait``);
+* service invocations run as separate tasks on the same loop, so agents
+  keep exchanging messages while a service awaits its nominal duration —
+  real-service concurrency without a single thread;
+* **async services are first-class**: a registered service callable may be
+  an ``async def`` (or return any awaitable) — its coroutine is awaited on
+  the loop, so N awaiting services genuinely overlap.  Plain synchronous
+  services must be quick/non-blocking: they run on the loop itself (that
+  is the no-threads trade-off; blocking services belong on ``threaded``);
+* completion is an :class:`asyncio.Event` fired by the coordinator.
+
+Like the threaded runtime it is meant for functional use (examples, real
+Python services, integration tests), not performance studies.  Use
+:meth:`AsyncioRun.run_async` when already inside an event loop;
+:meth:`AsyncioRun.run` (and the ``"asyncio"`` backend) wrap it in
+:func:`asyncio.run`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import sys
+import time
+import traceback
+from dataclasses import dataclass, replace
+from typing import Any
+
+from repro.agents import AgentCore
+from repro.hoclflow.translator import encode_workflow
+from repro.messaging import InProcessBroker, agent_topic
+from repro.workflow.dag import Workflow
+
+from .backends import get_backend, register_runtime
+from .config import GinFlowConfig
+from .enactment import AgentHost, EnactmentEngine, MonotonicClock, PreparedInvocation, ReportAssembler
+from .results import RunReport
+
+__all__ = ["AsyncioRun", "run_asyncio"]
+
+_POISON: Any = object()
+
+
+@dataclass
+class _AsyncAgent(AgentHost):
+    """One asyncio service agent: engine host + its task and queue."""
+
+    queue: "asyncio.Queue[Any] | None" = None
+    task: "asyncio.Task | None" = None
+
+
+class AsyncioRun:
+    """One asyncio execution of a workflow (single event loop, no threads)."""
+
+    def __init__(self, workflow: Workflow, config: GinFlowConfig | None = None):
+        self.workflow = workflow
+        self.config = config or GinFlowConfig(mode="asyncio")
+        self._engine: EnactmentEngine | None = None
+        self._done: asyncio.Event | None = None
+        self._invocations: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------ run
+    def run(self, timeout: float = 60.0) -> RunReport:
+        """Execute the workflow in a fresh event loop (blocking entry point)."""
+        return asyncio.run(self.run_async(timeout=timeout))
+
+    async def run_async(self, timeout: float = 60.0) -> RunReport:
+        """Execute the workflow on the current event loop."""
+        encoding = encode_workflow(self.workflow)
+        # Same transport family as the threaded runtime: the in-process
+        # broker delivers synchronously, so `put_nowait` lands on the loop.
+        broker_backend = get_backend("broker", self.config.broker)
+        broker_cls = broker_backend.capability("broker_class", InProcessBroker)
+        broker = broker_cls(self.config.broker_profile())
+        self._done = asyncio.Event()
+        engine = EnactmentEngine(
+            config=self.config,
+            encoding=encoding,
+            clock=MonotonicClock(),
+            transport=broker,
+            invoker=self._invoke,
+            on_complete=lambda _time: self._done.set(),
+        )
+        self._engine = engine
+
+        for name, task_encoding in encoding.tasks.items():
+            agent = engine.add_host(_AsyncAgent(encoding=task_encoding, core=AgentCore(task_encoding)))
+            agent.queue = asyncio.Queue()
+            broker.subscribe(agent_topic(name), agent.queue.put_nowait)
+        engine.subscribe_status()
+
+        start = time.monotonic()
+        for agent in engine.hosts.values():
+            agent.task = asyncio.create_task(self._agent_loop(agent), name=f"sa-{agent.name}")
+        try:
+            await asyncio.wait_for(self._done.wait(), timeout=timeout)
+        except asyncio.TimeoutError:
+            pass
+        # shut the agent tasks down, then drop any still-pending invocation
+        for agent in engine.hosts.values():
+            agent.queue.put_nowait(_POISON)
+        outcomes = await asyncio.gather(
+            *(agent.task for agent in engine.hosts.values()), return_exceptions=True
+        )
+        for agent, outcome in zip(engine.hosts.values(), outcomes):
+            if isinstance(outcome, BaseException) and not isinstance(outcome, asyncio.CancelledError):
+                # an agent task died on a protocol bug: surface the traceback
+                # (mirrors the threaded runtime's thread excepthook output)
+                print(f"exception in asyncio agent task {agent.name!r}:", file=sys.stderr)
+                traceback.print_exception(type(outcome), outcome, outcome.__traceback__)
+        for pending in list(self._invocations):
+            pending.cancel()
+        elapsed = time.monotonic() - start
+        return ReportAssembler(engine).assemble(
+            mode="asyncio",
+            executor="local",
+            broker=self.config.broker,
+            nodes=1,
+            deployment_time=0.0,
+            execution_time=elapsed,
+            makespan=elapsed,
+        )
+
+    # ----------------------------------------------------------- agent loop
+    async def _agent_loop(self, agent: _AsyncAgent) -> None:
+        engine = self._engine
+        engine.dispatch(agent, engine.boot(agent))
+        while True:
+            message = await agent.queue.get()
+            if message is _POISON:
+                return
+            engine.dispatch(agent, engine.deliver(agent, message))
+
+    # ----------------------------------------------------------- invocation
+    def _invoke(self, agent: _AsyncAgent, prepared: PreparedInvocation) -> None:
+        """Engine invoker: run the invocation as its own task on the loop."""
+        task = asyncio.create_task(self._run_invocation(agent, prepared), name=f"invoke-{agent.name}")
+        self._invocations.add(task)
+        task.add_done_callback(self._invocations.discard)
+
+    async def _run_invocation(self, agent: _AsyncAgent, prepared: PreparedInvocation) -> None:
+        scale = self.config.threaded_time_scale
+        if scale > 0 and agent.encoding.duration > 0:
+            await asyncio.sleep(agent.encoding.duration * scale)
+        else:
+            await asyncio.sleep(0)  # yield so concurrent agents interleave
+        outcome = prepared.invoke()
+        if inspect.isawaitable(outcome.value):
+            # async service: the callable returned a coroutine — await it on
+            # the loop so concurrent invocations genuinely overlap
+            try:
+                value = await outcome.value
+            except Exception as exc:  # noqa: BLE001 - converted into a task failure
+                outcome = replace(outcome, value=None, failed=True, error=str(exc))
+            else:
+                outcome = replace(outcome, value=value)
+        engine = self._engine
+        engine.dispatch(agent, engine.complete_invocation(agent, outcome))
+
+
+def run_asyncio(workflow: Workflow, config: GinFlowConfig | None = None, timeout: float = 60.0) -> RunReport:
+    """Convenience wrapper: run ``workflow`` on the asyncio runtime."""
+    return AsyncioRun(workflow, config).run(timeout=timeout)
+
+
+@register_runtime(
+    "asyncio",
+    capabilities={
+        "distributed": False,
+        "wall_clock": True,
+        "supports_failures": False,
+        "single_threaded": True,
+    },
+    description="one asyncio event loop: agents as tasks, concurrency without threads",
+)
+def _asyncio_runtime(workflow: Workflow, config: GinFlowConfig, timeout: float | None = None) -> RunReport:
+    """Runtime backend entry point (``timeout`` bounds the wall-clock wait)."""
+    return AsyncioRun(workflow, config).run(timeout=timeout if timeout is not None else 60.0)

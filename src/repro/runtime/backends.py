@@ -283,6 +283,7 @@ DERIVED_VIEWS: dict[str, Callable[[], tuple[str, ...]]] = {
 _BUILTIN_MODULES = (
     "repro.runtime.simulation",
     "repro.runtime.threaded",
+    "repro.runtime.aio",
     "repro.runtime.ginflow",
     "repro.executors.ssh",
     "repro.executors.mesos",

@@ -1,0 +1,38 @@
+"""The clock seam of the enactment engine.
+
+Every timestamp the engine records (boot, invocation start/end, status
+updates, completion) is read through a :class:`Clock`, so the same protocol
+code runs under virtual time (the discrete-event simulation) and wall-clock
+time (the threaded and asyncio runtimes).
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "MonotonicClock", "VirtualClock"]
+
+
+class Clock:
+    """Minimal time source: a monotonically non-decreasing ``now()``."""
+
+    def now(self) -> float:
+        """Current time in seconds (origin is runtime-defined)."""
+        raise NotImplementedError
+
+
+class VirtualClock(Clock):
+    """Reads the simulation kernel's virtual clock."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+
+    def now(self) -> float:
+        return self.sim.now
+
+
+class MonotonicClock(Clock):
+    """Wall-clock time for real-concurrency runtimes (``time.monotonic``)."""
+
+    def now(self) -> float:
+        return time.monotonic()

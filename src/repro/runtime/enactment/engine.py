@@ -1,0 +1,245 @@
+"""The enactment engine: the one decentralised protocol, hosted anywhere.
+
+:class:`EnactmentEngine` is the runtime-agnostic half of every GinFlow
+runtime.  It owns:
+
+* the **action dispatch** — the single mapping from the actions an
+  :class:`~repro.agents.core.AgentCore` emits to the broker messages,
+  adaptation bookkeeping and coordinator updates they imply;
+* the **invocation lifecycle** — attempt counting, service resolution,
+  invocation context assembly and the failure/success stimuli fed back to
+  the chemistry (service-level failed attempts are counted per task);
+* the **coordinator wiring** — STATUS routing (through the broker, or
+  directly when status updates are disabled by the cost model) and
+  completion detection, including fail-fast completion on terminal
+  exit-task errors;
+* the **recovery protocol** — rebuilding a crashed agent from the
+  transport's replayable log (Section IV-B).
+
+A runtime driver owns only scheduling: *when and where* each stimulus runs
+(virtual-time callbacks, threads, asyncio tasks) and how a started
+invocation's completion is waited for.  The driver hands the engine an
+``invoker`` callable for exactly that purpose: the engine prepares the
+invocation (bookkeeping included) and the driver decides how to execute it
+and when to feed the outcome back through :meth:`EnactmentEngine.complete_invocation`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.agents import Coordinator, SendAdapt, SendResult, StartInvocation, StatusUpdate
+from repro.agents.actions import Action
+from repro.agents.core import AgentCore
+from repro.agents.recovery import rebuild_agent
+from repro.hoclflow.translator import TaskEncoding, WorkflowEncoding
+from repro.messaging import Message, MessageKind, STATUS_TOPIC, agent_topic
+from repro.services import InvocationContext, InvocationResult, Service
+
+from ..results import RunReport
+from .clock import Clock
+from .transport import Transport
+
+__all__ = ["AgentHost", "PreparedInvocation", "EnactmentEngine"]
+
+
+@dataclass
+class AgentHost:
+    """Runtime-agnostic book-keeping of one hosted service agent.
+
+    Runtimes subclass this record to attach their scheduling state (a
+    virtual-time serial queue, a thread and its inbox, an asyncio task and
+    its queue); the engine only ever touches the fields below.
+    """
+
+    encoding: TaskEncoding
+    core: AgentCore
+    node: str = "localhost"
+    alive: bool = True
+    incarnation: int = 0
+    attempts: int = 0
+    failures: int = 0
+    started_at: float | None = None
+    finished_at: float | None = None
+
+    @property
+    def name(self) -> str:
+        return self.encoding.name
+
+
+@dataclass
+class PreparedInvocation:
+    """One service invocation, fully prepared by the engine.
+
+    The hosting runtime decides *how* to execute it (synchronously in the
+    agent's thread, scheduled on the virtual clock, awaited in a task) and
+    feeds the outcome back through
+    :meth:`EnactmentEngine.complete_invocation`.
+    """
+
+    host: AgentHost
+    service: Service
+    parameters: list[Any]
+    context: InvocationContext
+
+    def invoke(self) -> InvocationResult:
+        """Run the service call itself (pure; no engine bookkeeping)."""
+        return self.service.invoke(self.parameters, self.context)
+
+
+class EnactmentEngine:
+    """The shared enactment protocol, parameterised by clock and transport."""
+
+    def __init__(
+        self,
+        *,
+        config,
+        encoding: WorkflowEncoding,
+        clock: Clock,
+        transport: Transport,
+        invoker: Callable[[AgentHost, PreparedInvocation], None],
+        on_complete: Callable[[float], None] | None = None,
+        report: RunReport | None = None,
+    ):
+        self.config = config
+        self.encoding = encoding
+        self.clock = clock
+        self.transport = transport
+        self._invoker = invoker
+        self.registry = config.build_registry()
+        self.report = report if report is not None else RunReport()
+        # Tasks whose failure triggers an adaptation must not fail-fast the
+        # run: their ERROR is the *start* of the recovery, not the end.
+        adaptable = {name for name, task in encoding.tasks.items() if task.trigger_plans}
+        self.coordinator = Coordinator(
+            exit_tasks=encoding.exit_tasks(),
+            on_complete=on_complete,
+            adaptable_tasks=adaptable,
+        )
+        self.hosts: dict[str, AgentHost] = {}
+        self.triggered_adaptations: set[str] = set()
+        # Shared-state guard for real-concurrency runtimes; uncontended (and
+        # harmless) under the single-threaded simulated/asyncio drivers.
+        self._lock = threading.Lock()
+
+    # ---------------------------------------------------------------- hosts
+    def add_host(self, host: AgentHost) -> AgentHost:
+        """Register one hosted agent (insertion order is report order)."""
+        self.hosts[host.name] = host
+        return host
+
+    def subscribe_status(self) -> None:
+        """Route the shared-space STATUS topic into the coordinator."""
+        self.transport.subscribe(STATUS_TOPIC, self.on_status_message)
+
+    # -------------------------------------------------------------- stimuli
+    def boot(self, host: AgentHost) -> list[Action]:
+        """First reduction after deployment: stamp the start, boot the core."""
+        host.started_at = self.clock.now()
+        return host.core.boot()
+
+    def deliver(self, host: AgentHost, message: Message) -> list[Action]:
+        """The one mapping from an incoming message to a core stimulus."""
+        if message.kind == MessageKind.RESULT:
+            return host.core.receive_result(message.sender, message.payload)
+        if message.kind == MessageKind.ADAPT:
+            return host.core.receive_adapt(int(message.payload) if message.payload else 1)
+        return []
+
+    def complete_invocation(self, host: AgentHost, outcome: InvocationResult) -> list[Action]:
+        """Feed a finished invocation back into the chemistry."""
+        host.finished_at = self.clock.now()
+        if outcome.failed:
+            host.failures += 1
+            return host.core.invocation_failed(outcome.error)
+        return host.core.invocation_succeeded(outcome.value)
+
+    # ------------------------------------------------------------- dispatch
+    def dispatch(self, host: AgentHost, actions: list[Action]) -> None:
+        """Execute the actions one reduction emitted (the protocol's I/O)."""
+        costs = self.config.costs
+        for action in actions:
+            if isinstance(action, SendResult):
+                self.transport.publish(
+                    Message(
+                        topic=agent_topic(action.destination),
+                        kind=MessageKind.RESULT,
+                        sender=host.name,
+                        recipient=action.destination,
+                        payload=action.value,
+                        size_bytes=costs.result_message_size,
+                    )
+                )
+            elif isinstance(action, SendAdapt):
+                if action.adaptation:
+                    with self._lock:
+                        self.triggered_adaptations.add(action.adaptation)
+                self.transport.publish(
+                    Message(
+                        topic=agent_topic(action.destination),
+                        kind=MessageKind.ADAPT,
+                        sender=host.name,
+                        recipient=action.destination,
+                        payload=action.count,
+                        size_bytes=costs.status_update_size,
+                    )
+                )
+            elif isinstance(action, StartInvocation):
+                self._start_invocation(host, action)
+            elif isinstance(action, StatusUpdate):
+                if costs.status_update_enabled:
+                    self.transport.publish(
+                        Message(
+                            topic=STATUS_TOPIC,
+                            kind=MessageKind.STATUS,
+                            sender=host.name,
+                            recipient="coordinator",
+                            payload=host.core.status(),
+                            size_bytes=costs.status_update_size,
+                        )
+                    )
+                else:
+                    # keep completion detection working without broker load
+                    self.record_status(host.name, host.core.status())
+
+    def _start_invocation(self, host: AgentHost, action: StartInvocation) -> None:
+        host.attempts += 1
+        prepared = PreparedInvocation(
+            host=host,
+            service=self.registry.resolve(action.service),
+            parameters=list(action.parameters),
+            context=InvocationContext(
+                task_name=host.name,
+                duration=host.encoding.duration,
+                metadata=host.encoding.metadata,
+                attempt=host.attempts,
+            ),
+        )
+        self._invoker(host, prepared)
+
+    # --------------------------------------------------------------- status
+    def on_status_message(self, message: Message) -> None:
+        """STATUS-topic subscriber: fold agent updates into the coordinator."""
+        if isinstance(message.payload, dict):
+            self.record_status(message.sender, message.payload)
+
+    def record_status(self, task: str, status: dict[str, Any]) -> None:
+        """Apply one status payload at the current clock time (thread-safe)."""
+        with self._lock:
+            self.coordinator.record_status(task, status, time=self.clock.now())
+
+    # ------------------------------------------------------------- recovery
+    def recover(self, host: AgentHost) -> tuple[list[Action], int]:
+        """Rebuild a crashed agent from the transport's log (Section IV-B).
+
+        Returns the actions produced by the boot-and-replay (the driver
+        re-executes them — duplicates are harmless by construction) and the
+        number of replayed messages (for the driver's cost accounting).
+        """
+        logged = self.transport.replay(agent_topic(host.name)) if self.transport.supports_replay else []
+        core, actions = rebuild_agent(host.encoding, logged)
+        host.core = core
+        host.alive = True
+        return actions, len(logged)

@@ -1,0 +1,74 @@
+"""Shared run-report assembly.
+
+Every runtime's :class:`~repro.runtime.results.RunReport` is built here, so
+the per-task rows (:class:`~repro.runtime.results.TaskOutcome`), the message
+counters and the chemistry aggregates are identical across runtimes by
+construction — the driver only supplies what genuinely differs: the timing
+figures and the identity fields of its configuration.
+"""
+
+from __future__ import annotations
+
+from ..results import RunReport, TaskOutcome
+
+__all__ = ["ReportAssembler"]
+
+
+class ReportAssembler:
+    """Builds the run report from an engine's final state."""
+
+    def __init__(self, engine):
+        self.engine = engine
+
+    def assemble(
+        self,
+        *,
+        mode: str,
+        executor: str,
+        broker: str,
+        nodes: int,
+        deployment_time: float,
+        execution_time: float,
+        makespan: float,
+    ) -> RunReport:
+        """Fill the engine's report with the shared, runtime-agnostic rows."""
+        engine = self.engine
+        coordinator = engine.coordinator
+        report = engine.report
+
+        report.mode = mode
+        report.executor = executor
+        report.broker = broker
+        report.nodes = nodes
+        report.seed = engine.config.seed
+        report.deployment_time = deployment_time
+        report.execution_time = execution_time
+        report.makespan = makespan
+        report.succeeded = coordinator.succeeded
+        report.messages_published = engine.transport.published_count()
+        report.messages_delivered = engine.transport.delivered_count()
+        report.adaptations_triggered = len(engine.triggered_adaptations)
+
+        exit_tasks = set(engine.encoding.exit_tasks())
+        for name, host in engine.hosts.items():
+            core = host.core
+            outcome = TaskOutcome(
+                task=name,
+                state=core.state,
+                result=core.result_value(),
+                error=core.has_error(),
+                node=host.node,
+                started_at=host.started_at,
+                finished_at=host.finished_at,
+                attempts=host.attempts,
+                failures=host.failures,
+            )
+            report.tasks[name] = outcome
+            report.duplicate_results_ignored += core.duplicates_ignored
+            report.reduction_reactions += core.reactions
+            report.reduction_match_attempts += core.match_attempts
+            if name in exit_tasks and outcome.result is not None:
+                report.results[name] = outcome.result
+        if engine.config.collect_timeline:
+            report.timeline = list(coordinator.timeline)
+        return report

@@ -1,0 +1,42 @@
+"""The transport seam of the enactment engine.
+
+The engine publishes messages and reads delivery statistics through this
+interface; it never cares whether delivery is a virtual-time event chain
+(:class:`~repro.messaging.simulated.SimulatedBroker`) or a synchronous
+in-process callback (:class:`~repro.messaging.broker.InProcessBroker`).
+Both built-in broker families already satisfy it — ``Transport`` exists so
+that the contract a *new* runtime's transport must honour is written down
+in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Protocol, runtime_checkable
+
+from repro.messaging.message import Message
+
+__all__ = ["Transport"]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the enactment engine requires from a message transport."""
+
+    def publish(self, message: Message) -> None:
+        """Publish ``message`` on its topic."""
+
+    def subscribe(self, topic: str, callback: Callable[[Message], None]) -> None:
+        """Register ``callback`` for every message published on ``topic``."""
+
+    def published_count(self) -> int:
+        """Total messages published so far."""
+
+    def delivered_count(self) -> int:
+        """Total messages actually handed to subscribers so far."""
+
+    def replay(self, topic: str, from_offset: int = 0) -> list[Message]:
+        """Replay the persisted messages of ``topic`` (persistent only)."""
+
+    @property
+    def supports_replay(self) -> bool:
+        """Whether the transport keeps a replayable log (Kafka-like)."""

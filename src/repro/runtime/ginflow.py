@@ -9,12 +9,18 @@ A :class:`GinFlow` instance holds a base configuration
 (:class:`~repro.runtime.config.GinFlowConfig`); :meth:`run` accepts per-call
 overrides (``executor="mesos"``, ``broker="kafka"``, ``mode="threaded"``...)
 and dispatches through the runtime backend registry
-(:mod:`repro.runtime.backends`).  The three built-in runtimes are:
+(:mod:`repro.runtime.backends`).  The four built-in runtimes are:
 
 * ``simulated`` — virtual-time distributed execution over the simulated
   cluster (the default; this is what the benchmarks use);
 * ``threaded`` — real threads and in-process brokers on the local machine;
+* ``asyncio`` — one event loop, agents as tasks, concurrency without
+  threads;
 * ``centralized`` — single HOCL interpreter, synchronous service calls.
+
+``simulated``, ``threaded`` and ``asyncio`` are all thin drivers over the
+shared enactment engine (:mod:`repro.runtime.enactment`), so they enact the
+exact same decentralised protocol.
 
 Third-party runtimes registered with
 :func:`~repro.runtime.backends.register_runtime` dispatch the same way.

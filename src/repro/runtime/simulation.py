@@ -10,6 +10,17 @@ failures are injected according to the paper's model (Section V-D).  Only the
 *durations* of platform operations are modelled, through the
 :class:`~repro.runtime.costs.CostModel`.
 
+The protocol itself (action dispatch, invocation lifecycle, status routing,
+report rows) lives in the shared :mod:`repro.runtime.enactment` engine; this
+module is the *driver* — it owns only what is specific to virtual time:
+
+* charging every stimulus its modelled handling cost on the agent's serial
+  queue before its actions dispatch;
+* scheduling invocation completions (and injected crashes) on the virtual
+  clock, with the cost model's invocation overhead;
+* the crash/recovery choreography (incarnation counting, recovery delay,
+  boot-and-replay cost) around the engine's recovery protocol.
+
 The flow of one run:
 
 1. the workflow is encoded (:func:`repro.hoclflow.encode_workflow`);
@@ -22,50 +33,28 @@ The flow of one run:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
-from repro.agents import (
-    AgentCore,
-    Coordinator,
-    SendAdapt,
-    SendResult,
-    StartInvocation,
-    StatusUpdate,
-)
-from repro.agents.recovery import rebuild_agent
-from repro.hoclflow.translator import TaskEncoding, WorkflowEncoding, encode_workflow
-from repro.messaging import Message, MessageKind, SimulatedBroker, STATUS_TOPIC, agent_topic
-from repro.services import InvocationContext, InvocationResult
+from repro.agents import AgentCore
+from repro.hoclflow.translator import encode_workflow
+from repro.messaging import Message, MessageKind, SimulatedBroker, agent_topic
+from repro.services import InvocationResult
 from repro.simkernel import RandomStreams, SerialQueue, Simulator
 from repro.workflow.dag import Workflow
 
 from .backends import register_runtime
 from .config import GinFlowConfig
-from .results import RunReport, TaskOutcome
+from .enactment import AgentHost, EnactmentEngine, PreparedInvocation, ReportAssembler, VirtualClock
+from .results import RunReport
 
 __all__ = ["SimulatedRun", "run_simulation"]
 
 
 @dataclass
-class _SimAgent:
-    """Book-keeping wrapper around one simulated service agent."""
+class _SimAgent(AgentHost):
+    """One simulated service agent: engine host + its virtual serial queue."""
 
-    encoding: TaskEncoding
-    core: AgentCore
-    node: str = "unknown"
     serial: SerialQueue | None = None
-    alive: bool = True
-    incarnation: int = 0
-    attempt: int = 0
-    failures: int = 0
-    started_at: float | None = None
-    finished_at: float | None = None
-    invocation_started_at: float | None = None
-
-    @property
-    def name(self) -> str:
-        return self.encoding.name
 
 
 class SimulatedRun:
@@ -74,15 +63,10 @@ class SimulatedRun:
     def __init__(self, workflow: Workflow, config: GinFlowConfig | None = None):
         self.workflow = workflow
         self.config = config or GinFlowConfig()
-        self.encoding: WorkflowEncoding | None = None
         self.report = RunReport()
         self._sim = Simulator()
         self._randomness = RandomStreams(self.config.seed)
-        self._agents: dict[str, _SimAgent] = {}
-        self._coordinator: Coordinator | None = None
-        self._broker: SimulatedBroker | None = None
-        self._registry = self.config.build_registry()
-        self._triggered_adaptations: set[str] = set()
+        self._engine: EnactmentEngine | None = None
         self._enactment_start = 0.0
 
     # ------------------------------------------------------------------ run
@@ -91,40 +75,47 @@ class SimulatedRun:
         config = self.config
         costs = config.costs
         encoding = encode_workflow(self.workflow)
-        self.encoding = encoding
 
         cluster = config.build_cluster()
         network = config.build_network()
-        profile = config.broker_profile()
-        self._broker = SimulatedBroker(
+        broker = SimulatedBroker(
             self._sim,
-            profile,
+            config.broker_profile(),
             network=network,
             randomness=self._randomness.spawn("broker"),
             dispatchers=costs.broker_dispatchers,
         )
-        self._coordinator = Coordinator(exit_tasks=encoding.exit_tasks())
+        engine = EnactmentEngine(
+            config=config,
+            encoding=encoding,
+            clock=VirtualClock(self._sim),
+            transport=broker,
+            invoker=self._invoke,
+            report=self.report,
+        )
+        self._engine = engine
 
         executor = config.build_executor()
         agent_names = encoding.task_names()
         plan = executor.plan(cluster, agent_names)
 
         for name in agent_names:
-            agent = _SimAgent(
-                encoding=encoding.tasks[name],
-                core=AgentCore(encoding.tasks[name]),
-                node=plan.placement.get(name, "unknown"),
-                serial=SerialQueue(self._sim, name=f"agent-{name}"),
+            agent = engine.add_host(
+                _SimAgent(
+                    encoding=encoding.tasks[name],
+                    core=AgentCore(encoding.tasks[name]),
+                    node=plan.placement.get(name, "unknown"),
+                    serial=SerialQueue(self._sim, name=f"agent-{name}"),
+                )
             )
-            self._agents[name] = agent
-            self._broker.subscribe(agent_topic(name), self._make_message_handler(agent))
-        self._broker.subscribe(STATUS_TOPIC, self._on_status_message)
+            broker.subscribe(agent_topic(name), self._make_message_handler(agent))
+        engine.subscribe_status()
 
         # Enactment starts once deployment completes (the stacked bars of
         # Fig. 14 split deployment time from execution time).
         self._enactment_start = plan.deployment_time
         for name in agent_names:
-            agent = self._agents[name]
+            agent = engine.hosts[name]
             self._sim.call_at(
                 plan.deployment_time + costs.agent_boot_time,
                 self._make_boot_callback(agent),
@@ -137,8 +128,7 @@ class SimulatedRun:
     # ------------------------------------------------------------ callbacks
     def _make_boot_callback(self, agent: _SimAgent):
         def boot() -> None:
-            agent.started_at = self._sim.now
-            self._handle(agent, agent.core.boot)
+            self._handle(agent, lambda: self._engine.boot(agent))
 
         return boot
 
@@ -149,17 +139,10 @@ class SimulatedRun:
                 # its log, so the recovery replay will deliver it; with a
                 # transient broker the message is lost.
                 return
-            if message.kind == MessageKind.RESULT:
-                self._handle(agent, lambda: agent.core.receive_result(message.sender, message.payload))
-            elif message.kind == MessageKind.ADAPT:
-                count = int(message.payload) if message.payload else 1
-                self._handle(agent, lambda: agent.core.receive_adapt(count))
+            if message.kind in (MessageKind.RESULT, MessageKind.ADAPT):
+                self._handle(agent, lambda: self._engine.deliver(agent, message))
 
         return on_message
-
-    def _on_status_message(self, message: Message) -> None:
-        if self._coordinator is not None and isinstance(message.payload, dict):
-            self._coordinator.record_status(message.sender, message.payload, time=self._sim.now)
 
     # ------------------------------------------------------------- handling
     def _handle(self, agent: _SimAgent, stimulus, extra_cost: float = 0.0) -> None:
@@ -177,72 +160,17 @@ class SimulatedRun:
     def _dispatch(self, agent: _SimAgent, actions, incarnation: int) -> None:
         if not agent.alive or agent.incarnation != incarnation:
             return
-        costs = self.config.costs
-        for action in actions:
-            if isinstance(action, SendResult):
-                self._publish(
-                    Message(
-                        topic=agent_topic(action.destination),
-                        kind=MessageKind.RESULT,
-                        sender=agent.name,
-                        recipient=action.destination,
-                        payload=action.value,
-                        size_bytes=costs.result_message_size,
-                    )
-                )
-            elif isinstance(action, SendAdapt):
-                if action.adaptation:
-                    self._triggered_adaptations.add(action.adaptation)
-                self._publish(
-                    Message(
-                        topic=agent_topic(action.destination),
-                        kind=MessageKind.ADAPT,
-                        sender=agent.name,
-                        recipient=action.destination,
-                        payload=action.count,
-                        size_bytes=costs.status_update_size,
-                    )
-                )
-            elif isinstance(action, StartInvocation):
-                self._start_invocation(agent, action)
-            elif isinstance(action, StatusUpdate):
-                if costs.status_update_enabled:
-                    self._publish(
-                        Message(
-                            topic=STATUS_TOPIC,
-                            kind=MessageKind.STATUS,
-                            sender=agent.name,
-                            recipient="coordinator",
-                            payload=agent.core.status(),
-                            size_bytes=costs.status_update_size,
-                        )
-                    )
-                else:
-                    # keep completion detection working without broker load
-                    if self._coordinator is not None:
-                        self._coordinator.record_status(agent.name, agent.core.status(), time=self._sim.now)
-
-    def _publish(self, message: Message) -> None:
-        assert self._broker is not None
-        self._broker.publish(message)
+        self._engine.dispatch(agent, actions)
 
     # ----------------------------------------------------------- invocation
-    def _start_invocation(self, agent: _SimAgent, action: StartInvocation) -> None:
-        agent.attempt += 1
-        agent.invocation_started_at = self._sim.now
-        service = self._registry.resolve(action.service)
-        context = InvocationContext(
-            task_name=agent.name,
-            duration=agent.encoding.duration,
-            metadata=agent.encoding.metadata,
-            attempt=agent.attempt,
-        )
-        outcome = service.invoke(list(action.parameters), context)
+    def _invoke(self, agent: _SimAgent, prepared: PreparedInvocation) -> None:
+        """Engine invoker: schedule the invocation's end on the virtual clock."""
+        outcome = prepared.invoke()
         duration = max(0.0, outcome.duration) + self.config.costs.invocation_overhead
         incarnation = agent.incarnation
 
         crash_after = self.config.failures.crash_time(
-            duration, self._randomness, label=f"crash:{agent.name}:{agent.attempt}"
+            duration, self._randomness, label=f"crash:{agent.name}:{agent.attempts}"
         )
         if crash_after is not None and crash_after < duration:
             self._sim.call_in(crash_after, lambda: self._crash(agent, incarnation))
@@ -252,11 +180,7 @@ class SimulatedRun:
     def _complete_invocation(self, agent: _SimAgent, incarnation: int, outcome: InvocationResult) -> None:
         if not agent.alive or agent.incarnation != incarnation:
             return
-        agent.finished_at = self._sim.now
-        if outcome.failed:
-            self._handle(agent, lambda: agent.core.invocation_failed(outcome.error))
-        else:
-            self._handle(agent, lambda: agent.core.invocation_succeeded(outcome.value))
+        self._handle(agent, lambda: self._engine.complete_invocation(agent, outcome))
 
     # -------------------------------------------------------------- failures
     def _crash(self, agent: _SimAgent, incarnation: int) -> None:
@@ -266,73 +190,38 @@ class SimulatedRun:
         agent.incarnation += 1
         agent.failures += 1
         self.report.failures_injected += 1
-        if self._coordinator is not None:
-            self._coordinator.record_event(self._sim.now, agent.name, "failure", f"attempt {agent.attempt}")
+        self._engine.coordinator.record_event(self._sim.now, agent.name, "failure", f"attempt {agent.attempts}")
         self._sim.call_in(self.config.failures.recovery_overhead(), lambda: self._recover(agent))
 
     def _recover(self, agent: _SimAgent) -> None:
-        assert self._broker is not None
         self.report.recoveries += 1
-        logged = self._broker.replay(agent_topic(agent.name)) if self._broker.supports_replay else []
-        core, actions = rebuild_agent(agent.encoding, logged)
-        agent.core = core
-        agent.alive = True
+        actions, replayed = self._engine.recover(agent)
         costs = self.config.costs
-        replay_cost = costs.agent_boot_time + costs.replay_cost(len(logged))
+        replay_cost = costs.agent_boot_time + costs.replay_cost(replayed)
         incarnation = agent.incarnation
-        done = agent.serial.submit(replay_cost + costs.handling_cost(core.reduction_units))
+        done = agent.serial.submit(replay_cost + costs.handling_cost(agent.core.reduction_units))
         done.add_callback(lambda _event: self._dispatch(agent, actions, incarnation))
-        if self._coordinator is not None:
-            self._coordinator.record_event(self._sim.now, agent.name, "recovery", f"replayed {len(logged)} messages")
+        self._engine.coordinator.record_event(
+            self._sim.now, agent.name, "recovery", f"replayed {replayed} messages"
+        )
 
     # --------------------------------------------------------------- report
     def _build_report(self, deployment_time: float) -> RunReport:
-        assert self._coordinator is not None and self._broker is not None
-        report = self.report
+        engine = self._engine
+        assert engine is not None
         config = self.config
-        coordinator = self._coordinator
-
-        report.mode = "simulated"
-        report.executor = config.executor
-        report.broker = config.broker
-        report.nodes = len(config.build_cluster()) if config.cluster is None else len(config.cluster)
-        report.seed = config.seed
-        report.deployment_time = deployment_time
-        completion = coordinator.completion_time
-        if completion is not None:
-            report.execution_time = max(0.0, completion - self._enactment_start)
-            report.makespan = completion
-        else:
-            report.execution_time = max(0.0, self._sim.now - self._enactment_start)
-            report.makespan = self._sim.now
-        report.succeeded = coordinator.completed
-        report.messages_published = self._broker.published_count()
-        report.messages_delivered = self._broker.delivered_count()
-        report.adaptations_triggered = len(self._triggered_adaptations)
-
-        exit_tasks = set(self.encoding.exit_tasks()) if self.encoding else set()
-        for name, agent in self._agents.items():
-            core = agent.core
-            outcome = TaskOutcome(
-                task=name,
-                state=core.state,
-                result=core.result_value(),
-                error=core.has_error(),
-                node=agent.node,
-                started_at=agent.started_at,
-                finished_at=agent.finished_at,
-                attempts=agent.attempt,
-                failures=agent.failures,
-            )
-            report.tasks[name] = outcome
-            report.duplicate_results_ignored += core.duplicates_ignored
-            report.reduction_reactions += core.reactions
-            report.reduction_match_attempts += core.match_attempts
-            if name in exit_tasks and outcome.result is not None:
-                report.results[name] = outcome.result
-        if config.collect_timeline:
-            report.timeline = list(coordinator.timeline)
-        report.extra["status_updates"] = coordinator.status_updates
+        completion = engine.coordinator.completion_time
+        end = completion if completion is not None else self._sim.now
+        report = ReportAssembler(engine).assemble(
+            mode="simulated",
+            executor=config.executor,
+            broker=config.broker,
+            nodes=len(config.build_cluster()) if config.cluster is None else len(config.cluster),
+            deployment_time=deployment_time,
+            execution_time=max(0.0, end - self._enactment_start),
+            makespan=end,
+        )
+        report.extra["status_updates"] = engine.coordinator.status_updates
         report.extra["virtual_events"] = self._sim.processed_events
         return report
 

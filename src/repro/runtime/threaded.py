@@ -8,6 +8,11 @@ another agent's state directly, so this runtime exercises the actual
 decentralised protocol — the same :class:`~repro.agents.core.AgentCore`
 chemistry driven by real concurrency instead of virtual time.
 
+The protocol itself lives in the shared :mod:`repro.runtime.enactment`
+engine; this module is the *driver* — it owns only the thread plumbing:
+one thread + inbox per agent, a synchronous invoker running the service in
+the agent's own thread, and the completion event the coordinator fires.
+
 It is meant for functional use (examples, integration tests, running real
 Python services), not for performance studies: those use the simulated
 runtime, which reproduces the paper's platform effects.
@@ -21,15 +26,15 @@ import time
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.agents import AgentCore, Coordinator, SendAdapt, SendResult, StartInvocation, StatusUpdate
-from repro.hoclflow.translator import TaskEncoding, WorkflowEncoding, encode_workflow
-from repro.messaging import InProcessBroker, Message, MessageKind, STATUS_TOPIC, agent_topic
-from repro.services import InvocationContext, ServiceRegistry
+from repro.agents import AgentCore
+from repro.hoclflow.translator import encode_workflow
+from repro.messaging import InProcessBroker, Message, agent_topic
 from repro.workflow.dag import Workflow
 
 from .backends import get_backend, register_runtime
 from .config import GinFlowConfig
-from .results import RunReport, TaskOutcome
+from .enactment import AgentHost, EnactmentEngine, MonotonicClock, PreparedInvocation, ReportAssembler
+from .results import RunReport
 
 __all__ = ["ThreadedRun", "run_threaded"]
 
@@ -37,20 +42,11 @@ _POISON = object()
 
 
 @dataclass
-class _ThreadedAgent:
-    """One service-agent thread and its inbox."""
+class _ThreadedAgent(AgentHost):
+    """One threaded service agent: engine host + its thread and inbox."""
 
-    encoding: TaskEncoding
-    core: AgentCore
     inbox: "queue.Queue[Any]" = field(default_factory=queue.Queue)
     thread: threading.Thread | None = None
-    attempts: int = 0
-    started_at: float | None = None
-    finished_at: float | None = None
-
-    @property
-    def name(self) -> str:
-        return self.encoding.name
 
 
 class ThreadedRun:
@@ -59,57 +55,55 @@ class ThreadedRun:
     def __init__(self, workflow: Workflow, config: GinFlowConfig | None = None):
         self.workflow = workflow
         self.config = config or GinFlowConfig(mode="threaded")
-        self.encoding: WorkflowEncoding | None = None
-        self._registry: ServiceRegistry = self.config.build_registry()
-        self._agents: dict[str, _ThreadedAgent] = {}
-        self._coordinator: Coordinator | None = None
-        self._broker: InProcessBroker | None = None
+        self._engine: EnactmentEngine | None = None
         self._done = threading.Event()
-        self._lock = threading.Lock()
-        self._triggered_adaptations: set[str] = set()
 
     # ------------------------------------------------------------------ run
     def run(self, timeout: float = 60.0) -> RunReport:
         """Execute the workflow; ``timeout`` bounds the wall-clock wait."""
         encoding = encode_workflow(self.workflow)
-        self.encoding = encoding
         # Any registered broker backend works here: its profile carries the
         # persistence flag, and `broker_class` (optional capability) selects
         # a specialised in-process implementation.
         broker_backend = get_backend("broker", self.config.broker)
-        profile = self.config.broker_profile()
         broker_cls = broker_backend.capability("broker_class", InProcessBroker)
-        self._broker = broker_cls(profile)
-        self._coordinator = Coordinator(
-            exit_tasks=encoding.exit_tasks(), on_complete=lambda _time: self._done.set()
+        broker = broker_cls(self.config.broker_profile())
+        engine = EnactmentEngine(
+            config=self.config,
+            encoding=encoding,
+            clock=MonotonicClock(),
+            transport=broker,
+            invoker=self._invoke,
+            on_complete=lambda _time: self._done.set(),
         )
+        self._engine = engine
 
         for name, task_encoding in encoding.tasks.items():
-            agent = _ThreadedAgent(encoding=task_encoding, core=AgentCore(task_encoding))
-            self._agents[name] = agent
-            self._broker.subscribe(agent_topic(name), agent.inbox.put)
-        self._broker.subscribe(STATUS_TOPIC, self._on_status)
+            agent = engine.add_host(_ThreadedAgent(encoding=task_encoding, core=AgentCore(task_encoding)))
+            broker.subscribe(agent_topic(name), agent.inbox.put)
+        engine.subscribe_status()
 
         start = time.monotonic()
-        for agent in self._agents.values():
-            agent.thread = threading.Thread(target=self._agent_loop, args=(agent,), daemon=True, name=f"sa-{agent.name}")
+        for agent in engine.hosts.values():
+            agent.thread = threading.Thread(
+                target=self._agent_loop, args=(agent,), daemon=True, name=f"sa-{agent.name}"
+            )
             agent.thread.start()
 
         self._done.wait(timeout=timeout)
-        completed = self._done.is_set()
         # shut the agent threads down
-        for agent in self._agents.values():
+        for agent in engine.hosts.values():
             agent.inbox.put(_POISON)
-        for agent in self._agents.values():
+        for agent in engine.hosts.values():
             if agent.thread is not None:
                 agent.thread.join(timeout=2.0)
         elapsed = time.monotonic() - start
-        return self._build_report(completed, elapsed)
+        return self._build_report(elapsed)
 
     # ----------------------------------------------------------- agent loop
     def _agent_loop(self, agent: _ThreadedAgent) -> None:
-        agent.started_at = time.monotonic()
-        self._execute_actions(agent, agent.core.boot())
+        engine = self._engine
+        engine.dispatch(agent, engine.boot(agent))
         while not self._done.is_set():
             try:
                 item = agent.inbox.get(timeout=0.1)
@@ -118,119 +112,32 @@ class ThreadedRun:
             if item is _POISON:
                 return
             message: Message = item
-            if message.kind == MessageKind.RESULT:
-                actions = agent.core.receive_result(message.sender, message.payload)
-            elif message.kind == MessageKind.ADAPT:
-                actions = agent.core.receive_adapt(int(message.payload or 1))
-            else:
-                continue
-            self._execute_actions(agent, actions)
+            engine.dispatch(agent, engine.deliver(agent, message))
         # drain remaining poison pill if the run completed first
         return
 
-    def _execute_actions(self, agent: _ThreadedAgent, actions) -> None:
-        assert self._broker is not None
-        for action in actions:
-            if isinstance(action, StartInvocation):
-                self._invoke(agent, action)
-            elif isinstance(action, SendResult):
-                self._broker.publish(
-                    Message(
-                        topic=agent_topic(action.destination),
-                        kind=MessageKind.RESULT,
-                        sender=agent.name,
-                        recipient=action.destination,
-                        payload=action.value,
-                    )
-                )
-            elif isinstance(action, SendAdapt):
-                with self._lock:
-                    if action.adaptation:
-                        self._triggered_adaptations.add(action.adaptation)
-                self._broker.publish(
-                    Message(
-                        topic=agent_topic(action.destination),
-                        kind=MessageKind.ADAPT,
-                        sender=agent.name,
-                        recipient=action.destination,
-                        payload=action.count,
-                    )
-                )
-            elif isinstance(action, StatusUpdate):
-                self._broker.publish(
-                    Message(
-                        topic=STATUS_TOPIC,
-                        kind=MessageKind.STATUS,
-                        sender=agent.name,
-                        recipient="coordinator",
-                        payload=agent.core.status(),
-                    )
-                )
-
-    def _invoke(self, agent: _ThreadedAgent, action: StartInvocation) -> None:
-        agent.attempts += 1
-        service = self._registry.resolve(action.service)
-        context = InvocationContext(
-            task_name=agent.name,
-            duration=agent.encoding.duration,
-            metadata=agent.encoding.metadata,
-            attempt=agent.attempts,
-        )
+    # ----------------------------------------------------------- invocation
+    def _invoke(self, agent: _ThreadedAgent, prepared: PreparedInvocation) -> None:
+        """Engine invoker: run the service synchronously in the agent's thread."""
         if self.config.threaded_time_scale > 0 and agent.encoding.duration > 0:
             time.sleep(agent.encoding.duration * self.config.threaded_time_scale)
-        outcome = service.invoke(list(action.parameters), context)
-        agent.finished_at = time.monotonic()
-        if outcome.failed:
-            actions = agent.core.invocation_failed(outcome.error)
-        else:
-            actions = agent.core.invocation_succeeded(outcome.value)
-        self._execute_actions(agent, actions)
-
-    # --------------------------------------------------------------- status
-    def _on_status(self, message: Message) -> None:
-        if self._coordinator is not None and isinstance(message.payload, dict):
-            with self._lock:
-                self._coordinator.record_status(message.sender, message.payload, time=time.monotonic())
+        outcome = prepared.invoke()
+        engine = self._engine
+        engine.dispatch(agent, engine.complete_invocation(agent, outcome))
 
     # --------------------------------------------------------------- report
-    def _build_report(self, completed: bool, elapsed: float) -> RunReport:
-        assert self._broker is not None and self._coordinator is not None
-        report = RunReport(
-            succeeded=completed,
+    def _build_report(self, elapsed: float) -> RunReport:
+        engine = self._engine
+        assert engine is not None
+        return ReportAssembler(engine).assemble(
             mode="threaded",
             executor="local",
             broker=self.config.broker,
             nodes=1,
-            seed=self.config.seed,
             deployment_time=0.0,
             execution_time=elapsed,
             makespan=elapsed,
-            messages_published=self._broker.published_count(),
-            messages_delivered=self._broker.published_count(),
-            adaptations_triggered=len(self._triggered_adaptations),
         )
-        exit_tasks = set(self.encoding.exit_tasks()) if self.encoding else set()
-        for name, agent in self._agents.items():
-            core = agent.core
-            outcome = TaskOutcome(
-                task=name,
-                state=core.state,
-                result=core.result_value(),
-                error=core.has_error(),
-                node="localhost",
-                started_at=agent.started_at,
-                finished_at=agent.finished_at,
-                attempts=agent.attempts,
-            )
-            report.tasks[name] = outcome
-            report.duplicate_results_ignored += core.duplicates_ignored
-            report.reduction_reactions += core.reactions
-            report.reduction_match_attempts += core.match_attempts
-            if name in exit_tasks and outcome.result is not None:
-                report.results[name] = outcome.result
-        if self.config.collect_timeline:
-            report.timeline = list(self._coordinator.timeline)
-        return report
 
 
 def run_threaded(workflow: Workflow, config: GinFlowConfig | None = None, timeout: float = 60.0) -> RunReport:

@@ -1,0 +1,297 @@
+"""Tests for the runtime-agnostic enactment engine and its drivers.
+
+Covers the coordinator query helpers and fail-fast completion, the report
+parity guarantee (same workflow → identical task rows across the simulated,
+threaded and asyncio runtimes, modulo timing/placement fields), the real
+delivered-message accounting of the in-process broker, and the asyncio
+runtime end-to-end (the same workflow tests the threaded runtime passes).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.agents import Coordinator
+from repro.messaging import ACTIVEMQ_PROFILE, InProcessBroker, Message, MessageKind
+from repro.runtime import (
+    AsyncioRun,
+    GinFlow,
+    GinFlowConfig,
+    available_runtimes,
+    run_asyncio,
+    run_simulation,
+    run_threaded,
+)
+from repro.runtime.enactment import MonotonicClock, VirtualClock
+from repro.services import ServiceRegistry
+from repro.simkernel import Simulator
+from repro.workflow import Task, Workflow, adaptive_diamond_workflow, diamond_workflow
+
+
+def _status(state="completed", has_result=True, has_error=False):
+    return {"state": state, "has_result": has_result, "has_error": has_error}
+
+
+def _failing_exit_diamond(width=2, depth=2):
+    workflow = diamond_workflow(width, depth)
+    workflow.task("merge").metadata["force_error"] = True
+    return workflow
+
+
+class TestCoordinatorQueries:
+    def test_progress_counts_results(self):
+        coordinator = Coordinator(exit_tasks=["C"])
+        assert coordinator.progress() == 0.0
+        coordinator.record_status("A", _status())
+        coordinator.record_status("B", _status("invoking", has_result=False))
+        coordinator.record_status("C", _status("ready", has_result=False))
+        assert coordinator.progress() == pytest.approx(1 / 3)
+
+    def test_tasks_in_state(self):
+        coordinator = Coordinator(exit_tasks=["C"])
+        coordinator.record_status("A", _status("completed"))
+        coordinator.record_status("B", _status("invoking", has_result=False))
+        coordinator.record_status("C", _status("invoking", has_result=False))
+        assert coordinator.tasks_in_state("completed") == ["A"]
+        assert sorted(coordinator.tasks_in_state("invoking")) == ["B", "C"]
+        assert coordinator.tasks_in_state("failed") == []
+
+    def test_error_tasks(self):
+        coordinator = Coordinator(exit_tasks=["C"])
+        coordinator.record_status("A", _status())
+        coordinator.record_status("B", _status("failed", has_result=False, has_error=True))
+        assert coordinator.error_tasks() == ["B"]
+
+    def test_task_state_unknown_before_updates(self):
+        coordinator = Coordinator(exit_tasks=["C"])
+        assert coordinator.task_state("C") == "unknown"
+
+
+class TestCoordinatorFailFast:
+    def test_completes_successfully_when_exits_hold_results(self):
+        coordinator = Coordinator(exit_tasks=["X", "Y"])
+        coordinator.record_status("X", _status(), time=1.0)
+        assert not coordinator.completed
+        coordinator.record_status("Y", _status(), time=2.0)
+        assert coordinator.completed and coordinator.succeeded
+        assert coordinator.completion_time == 2.0
+
+    def test_terminal_exit_error_fails_fast(self):
+        fired = []
+        coordinator = Coordinator(exit_tasks=["X", "Y"], on_complete=fired.append)
+        coordinator.record_status("X", _status("failed", has_result=False, has_error=True), time=3.0)
+        assert coordinator.completed and not coordinator.succeeded
+        assert coordinator.completion_time == 3.0
+        assert fired == [3.0]
+
+    def test_adaptable_exit_error_does_not_fail_fast(self):
+        coordinator = Coordinator(exit_tasks=["X"], adaptable_tasks={"X"})
+        coordinator.record_status("X", _status("failed", has_result=False, has_error=True))
+        assert not coordinator.completed
+
+    def test_completion_is_sticky(self):
+        coordinator = Coordinator(exit_tasks=["X"])
+        coordinator.record_status("X", _status(), time=1.0)
+        coordinator.record_status("X", _status("failed", has_result=False, has_error=True), time=9.0)
+        assert coordinator.completed and coordinator.succeeded
+        assert coordinator.completion_time == 1.0
+
+
+class TestFailFastEndToEnd:
+    """A workflow whose exit task holds ERROR completes as failed — it no
+    longer blocks until timeout (threaded/asyncio) or drains the virtual
+    event queue (simulated)."""
+
+    def test_threaded_returns_before_timeout(self):
+        start = time.monotonic()
+        report = run_threaded(_failing_exit_diamond(), timeout=30.0)
+        assert time.monotonic() - start < 10.0
+        assert not report.succeeded
+        assert report.tasks["merge"].error
+        assert report.tasks["merge"].failures == 1
+
+    def test_simulated_completes_as_failed(self):
+        report = run_simulation(_failing_exit_diamond(), GinFlowConfig(nodes=5))
+        assert not report.succeeded
+        assert report.tasks["merge"].error
+
+    def test_asyncio_returns_before_timeout(self):
+        start = time.monotonic()
+        report = run_asyncio(_failing_exit_diamond(), timeout=30.0)
+        assert time.monotonic() - start < 10.0
+        assert not report.succeeded
+
+
+class TestReportParity:
+    """Same workflow → identical task rows on every engine-backed runtime
+    (modulo the timing and placement fields, which are runtime-specific)."""
+
+    @staticmethod
+    def _rows(report):
+        return {
+            name: (outcome.state, outcome.result, outcome.error, outcome.attempts, outcome.failures)
+            for name, outcome in report.tasks.items()
+        }
+
+    @pytest.mark.parametrize("make_workflow", [
+        lambda: diamond_workflow(3, 2),
+        lambda: adaptive_diamond_workflow(2, 2),
+    ], ids=["diamond", "adaptive-diamond"])
+    def test_task_rows_identical_across_runtimes(self, make_workflow):
+        simulated = run_simulation(make_workflow(), GinFlowConfig(nodes=5))
+        threaded = run_threaded(make_workflow(), timeout=30.0)
+        asyncio_report = run_asyncio(make_workflow(), timeout=30.0)
+        assert simulated.succeeded and threaded.succeeded and asyncio_report.succeeded
+        assert self._rows(simulated) == self._rows(threaded) == self._rows(asyncio_report)
+        assert simulated.results == threaded.results == asyncio_report.results
+
+    def test_service_level_failures_counted_in_every_runtime(self):
+        # The adaptive diamond's trigger task fails its (single) invocation:
+        # `failures` counts it identically everywhere (satellite: threaded
+        # used to always report 0).
+        for report in (
+            run_simulation(adaptive_diamond_workflow(2, 2), GinFlowConfig(nodes=5)),
+            run_threaded(adaptive_diamond_workflow(2, 2), timeout=30.0),
+            run_asyncio(adaptive_diamond_workflow(2, 2), timeout=30.0),
+        ):
+            outcome = report.tasks["T_2_2"]
+            assert outcome.error
+            assert outcome.attempts == 1
+            assert outcome.failures == 1
+
+
+class TestDeliveredAccounting:
+    def test_in_process_broker_counts_real_deliveries(self):
+        broker = InProcessBroker(ACTIVEMQ_PROFILE)
+        received = []
+        broker.subscribe("t", received.append)
+        broker.publish(Message(topic="t", kind=MessageKind.RESULT, sender="a", recipient="b"))
+        broker.publish(Message(topic="nobody", kind=MessageKind.RESULT, sender="a", recipient="b"))
+        assert broker.published_count() == 2
+        assert broker.delivered_count() == 1  # no subscriber, no delivery
+        assert len(received) == 1
+
+    def test_threaded_report_uses_delivered_counter(self):
+        report = run_threaded(diamond_workflow(2, 2), timeout=30.0)
+        # every published message has exactly one subscriber here, and the
+        # report field is the broker's real delivery counter (not an echo
+        # of published_count)
+        assert report.messages_delivered == report.messages_published
+        assert report.messages_delivered > 0
+
+
+class TestAsyncioRuntime:
+    def test_registered_in_backends(self):
+        assert "asyncio" in available_runtimes()
+
+    def test_diamond_completes(self):
+        report = run_asyncio(diamond_workflow(3, 2), timeout=30.0)
+        assert report.succeeded
+        assert report.results["merge"] == "merge-out"
+        assert report.mode == "asyncio"
+        assert report.messages_delivered == report.messages_published > 0
+
+    def test_adaptive_diamond_completes(self):
+        report = run_asyncio(adaptive_diamond_workflow(2, 2), timeout=30.0)
+        assert report.succeeded
+        assert report.adaptations_triggered == 1
+        assert report.tasks["T_2_2"].error
+
+    def test_real_python_services(self):
+        registry = ServiceRegistry()
+        registry.register_function("square", lambda value: value * value)
+        registry.register_function("sum2", lambda a, b: a + b)
+        workflow = Workflow("math")
+        workflow.add_task(Task("A", "square", inputs=[3]))
+        workflow.add_task(Task("B", "square", inputs=[4]))
+        workflow.add_task(Task("C", "sum2"))
+        workflow.add_dependency("A", "C")
+        workflow.add_dependency("B", "C")
+        config = GinFlowConfig(mode="asyncio", registry=registry)
+        report = run_asyncio(workflow, config, timeout=30.0)
+        assert report.succeeded
+        assert report.results["C"] == 25
+
+    def test_kafka_broker_mode(self):
+        config = GinFlowConfig(mode="asyncio", broker="kafka")
+        report = run_asyncio(diamond_workflow(2, 2), config, timeout=30.0)
+        assert report.succeeded
+
+    def test_async_services_run_concurrently(self):
+        registry = ServiceRegistry()
+
+        async def slow_identity(value):
+            await asyncio.sleep(0.3)
+            return value
+
+        registry.register_function("slow", slow_identity)
+        registry.register_function("sum2", lambda a, b: a + b)
+        workflow = Workflow("async-math")
+        workflow.add_task(Task("A", "slow", inputs=[10]))
+        workflow.add_task(Task("B", "slow", inputs=[32]))
+        workflow.add_task(Task("C", "sum2"))
+        workflow.add_dependency("A", "C")
+        workflow.add_dependency("B", "C")
+        start = time.monotonic()
+        report = run_asyncio(workflow, GinFlowConfig(mode="asyncio", registry=registry), timeout=30.0)
+        elapsed = time.monotonic() - start
+        assert report.succeeded
+        assert report.results["C"] == 42
+        # both 0.3 s awaits overlapped on the one loop (serial would be ≥0.6)
+        assert elapsed < 0.55
+
+    def test_async_service_failure_becomes_task_error(self):
+        registry = ServiceRegistry()
+
+        async def broken():
+            raise RuntimeError("boom")
+
+        registry.register_function("broken", broken)
+        workflow = Workflow("async-fail")
+        workflow.add_task(Task("A", "broken"))
+        report = run_asyncio(workflow, GinFlowConfig(mode="asyncio", registry=registry), timeout=30.0)
+        assert not report.succeeded
+        assert report.tasks["A"].error
+        assert report.tasks["A"].failures == 1
+
+    def test_facade_mode_dispatch(self):
+        report = GinFlow().run(diamond_workflow(2, 2), mode="asyncio")
+        assert report.succeeded and report.mode == "asyncio"
+
+    def test_run_async_inside_event_loop(self):
+        async def main():
+            return await AsyncioRun(diamond_workflow(2, 1)).run_async(timeout=30.0)
+
+        report = asyncio.run(main())
+        assert report.succeeded
+
+    def test_sweep_over_asyncio_runtime(self):
+        from repro.experiments import ParameterGrid
+
+        sweep = GinFlow().sweep(
+            lambda: diamond_workflow(2, 1),
+            ParameterGrid({"broker": ["activemq", "kafka"]}),
+            mode="asyncio",
+            name="asyncio-sweep",
+        )
+        assert sweep.succeeded
+        assert len(sweep.rows) == 2
+        assert {row["broker"] for row in sweep.rows} == {"activemq", "kafka"}
+
+
+class TestClockSeam:
+    def test_virtual_clock_reads_the_simulator(self):
+        sim = Simulator()
+        clock = VirtualClock(sim)
+        assert clock.now() == 0.0
+        sim.call_in(5.0, lambda: None)
+        sim.run()
+        assert clock.now() == 5.0
+
+    def test_monotonic_clock_is_non_decreasing(self):
+        clock = MonotonicClock()
+        first = clock.now()
+        assert clock.now() >= first

@@ -233,6 +233,7 @@ class TestGinFlowFacade:
         ginflow = GinFlow()
         assert ginflow.run(diamond_workflow(2, 1), mode="centralized").mode == "centralized"
         assert ginflow.run(diamond_workflow(2, 1), mode="threaded").mode == "threaded"
+        assert ginflow.run(diamond_workflow(2, 1), mode="asyncio").mode == "asyncio"
 
     def test_json_workflow_input(self):
         from repro.workflow import workflow_to_json
@@ -258,7 +259,7 @@ class TestGinFlowFacade:
         workflow = diamond_workflow(3, 2)
         ginflow = GinFlow()
         results = {}
-        for mode in ("simulated", "threaded", "centralized"):
+        for mode in ("simulated", "threaded", "asyncio", "centralized"):
             report = ginflow.run(workflow, mode=mode, nodes=5)
             assert report.succeeded, mode
             results[mode] = report.results["merge"]
@@ -267,7 +268,7 @@ class TestGinFlowFacade:
     def test_all_modes_agree_on_adaptive_results(self):
         workflow = adaptive_diamond_workflow(2, 2)
         ginflow = GinFlow()
-        for mode in ("simulated", "threaded", "centralized"):
+        for mode in ("simulated", "threaded", "asyncio", "centralized"):
             report = ginflow.run(workflow, mode=mode, nodes=5)
             assert report.succeeded, mode
             assert report.tasks["R_2_2"].result == "R_2_2-out", mode
