@@ -1,0 +1,118 @@
+#!/usr/bin/env python
+"""CI regression gate for the HOCL reduction benchmarks.
+
+Re-runs a scaled-down scenario (default: ``montage-100-centralized``) with
+the incremental engine and compares it against the committed
+``BENCH_reduction.json``:
+
+* ``match_attempts`` must be **exactly** the committed value — the search is
+  deterministic, so any drift is a real behavioural change, machine speed
+  notwithstanding;
+* ``wall_seconds`` (best of ``--runs`` repetitions) must not exceed the
+  committed value by more than the tolerance (default 20%), after
+  *calibration*: the naive engine runs the same scenario in the same
+  process, and the committed incremental budget is scaled by the measured
+  naive wall over the committed naive wall.  A runner that is uniformly
+  2× slower doubles both sides, so only a real slowdown of the incremental
+  engine relative to the committed artifact trips the gate.
+
+Exit status is non-zero on regression, so the CI benchmarks job fails the
+PR.  ``GINFLOW_BENCH_TOLERANCE`` widens the margin for especially noisy
+hardware.
+
+Usage::
+
+    python benchmarks/check_regression.py [--scenario NAME] [--runs N]
+
+Environment:
+    GINFLOW_BENCH_SCENARIO    overrides --scenario
+    GINFLOW_BENCH_TOLERANCE   relative wall-clock tolerance (default 0.20)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from test_bench_reduction import _ARTIFACT, naive_calibration, reduce_scenario  # noqa: E402
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scenario",
+        default=os.environ.get("GINFLOW_BENCH_SCENARIO", "montage-100-centralized"),
+        help="scenario name present in the committed BENCH_reduction.json",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5, help="repetitions; the best wall time is compared"
+    )
+    parser.add_argument(
+        "--slack",
+        type=float,
+        default=0.1,
+        help="absolute seconds added to the budget (absorbs scheduler noise on "
+        "sub-second scenarios; a real regression of the scaled scenario is "
+        "a multiple of this)",
+    )
+    args = parser.parse_args()
+    tolerance = float(os.environ.get("GINFLOW_BENCH_TOLERANCE", "0.20"))
+
+    if not _ARTIFACT.exists():
+        print(f"no committed {_ARTIFACT.name}; nothing to compare against")
+        return 1
+    committed = json.loads(_ARTIFACT.read_text())
+    scenarios = committed.get("scenarios", {})
+    if args.scenario not in scenarios:
+        print(f"scenario {args.scenario!r} not in committed {_ARTIFACT.name}")
+        return 1
+    baseline = scenarios[args.scenario]["incremental"]
+    naive_baseline = scenarios[args.scenario]["naive"]
+
+    best_wall = None
+    best_naive_wall = None
+    attempts = None
+    for _ in range(max(1, args.runs)):
+        report, wall = reduce_scenario(args.scenario, incremental=True)
+        attempts = report.match_attempts
+        best_wall = wall if best_wall is None else min(best_wall, wall)
+        _naive_report, naive_wall = reduce_scenario(args.scenario, incremental=False)
+        best_naive_wall = (
+            naive_wall if best_naive_wall is None else min(best_naive_wall, naive_wall)
+        )
+
+    failed = False
+    if attempts != baseline["match_attempts"]:
+        print(
+            f"FAIL {args.scenario}: match_attempts {attempts} != committed "
+            f"{baseline['match_attempts']} (deterministic counter changed)"
+        )
+        failed = True
+    # calibrate the committed budget to this machine: the naive engine run
+    # here over the committed naive wall measures how fast this hardware is
+    calibration = naive_calibration(best_naive_wall, naive_baseline["wall_seconds"])
+    budget = baseline["wall_seconds"] * calibration * (1.0 + tolerance) + max(0.0, args.slack)
+    if best_wall > budget:
+        print(
+            f"FAIL {args.scenario}: wall {best_wall:.3f}s exceeds the committed "
+            f"{baseline['wall_seconds']}s by more than {tolerance:.0%} after "
+            f"calibration x{calibration:.2f} + {args.slack}s slack "
+            f"(budget {budget:.3f}s)"
+        )
+        failed = True
+    if not failed:
+        print(
+            f"OK {args.scenario}: wall {best_wall:.3f}s (committed "
+            f"{baseline['wall_seconds']}s, calibration x{calibration:.2f}, "
+            f"budget {budget:.3f}s), match_attempts {attempts} (unchanged)"
+        )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,23 +1,36 @@
-"""Benchmark of the incremental HOCL reduction engine.
+"""Benchmark matrix of the HOCL reduction engine.
 
-Two claims are checked and published as ``BENCH_reduction.json``:
+Three claims are checked and published as ``BENCH_reduction.json``:
 
-* **Equivalence** — the incremental engine (inertness caching + head-symbol
-  indexing) produces a :attr:`ReductionReport.history` identical to the
-  naive engine's on a representative workflow reduction;
-* **Speedup** — on a 500-task Montage-style DAG reduced by one centralised
-  interpreter (the paper's Section IV-C baseline, the worst case for
-  re-reduction), the incremental engine performs at least 5× fewer match
-  attempts than the naive re-reduce-everything engine.
+* **Equivalence** — the optimized incremental engine (inertness caching,
+  head-symbol indexing, quick-reject pre-checks, version-stamped rejection
+  memos) produces a :attr:`ReductionReport.history` identical to the naive
+  engine's on every scenario;
+* **Attempt speedup** — the incremental engine performs at least 5× fewer
+  match attempts than the naive re-reduce-everything engine (deterministic,
+  machine-independent);
+* **Wall-clock** — the montage-500 centralised reduction completes in
+  ≤ 5 s (the PR-4 target; PR 2 measured 15.18 s).
+
+Scenario matrix (the paper's two workflow shapes, at several scales):
+
+* ``montage-100-centralized`` — the scaled-down scenario the CI regression
+  gate re-runs on every PR (see ``benchmarks/check_regression.py``);
+* ``montage-500-centralized`` — the Section IV-C sized baseline;
+* ``montage-1000-centralized`` — 2× the paper scale (run with
+  ``GINFLOW_FULL=1``; skipped in the CI quick profile);
+* ``diamond-16x8-full-centralized`` — the fully-connected diamond of
+  Fig. 11, the densest dependency structure ``gw_pass`` has to search.
 
 The JSON artifact gives the perf trajectory a baseline: CI uploads it on
-every build, so regressions in ``match_attempts`` (deterministic) or
-wall-clock (indicative) are visible across commits.
+every build and ``check_regression.py`` fails a PR whose wall-clock regresses
+more than 20% against the committed copy.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -25,18 +38,39 @@ from repro.hocl import ReductionEngine, default_registry
 from repro.hoclflow import encode_workflow
 from repro.hoclflow.generic_rules import register_workflow_externals
 from repro.services import InvocationContext, ServiceRegistry
+from repro.workflow import diamond_workflow
 from repro.workflow.montage import montage_workflow
 
 #: Where the benchmark numbers are published (repository root).
 _ARTIFACT = Path(__file__).resolve().parent.parent / "BENCH_reduction.json"
 
-#: Montage projection-stage width giving a 500-task workflow (490 + 10 fixed).
-_LARGE_PROJECTIONS = 490
+#: Montage projection-stage width giving an N-task workflow (N-10 + 10 fixed).
+_SCENARIOS = {
+    "montage-100-centralized": lambda: montage_workflow(projections=90, duration_scale=0.01),
+    "montage-500-centralized": lambda: montage_workflow(projections=490, duration_scale=0.01),
+    "montage-1000-centralized": lambda: montage_workflow(projections=990, duration_scale=0.01),
+    "diamond-16x8-full-centralized": lambda: diamond_workflow(16, 8, connectivity="full"),
+}
+
+#: Scenarios too slow for the CI quick profile (run with GINFLOW_FULL=1).
+_FULL_ONLY = {"montage-1000-centralized"}
+
+#: Wall-clock ceiling of the PR-4 acceptance criterion (seconds); slower CI
+#: hardware can widen it via GINFLOW_WALL_BUDGET without touching the code.
+_MONTAGE_500_BUDGET = float(os.environ.get("GINFLOW_WALL_BUDGET", "5.0"))
 
 
-def _reduce_montage(projections: int, incremental: bool):
-    """Centralised reduction of a Montage-style DAG; returns (report, seconds)."""
-    workflow = montage_workflow(projections=projections, duration_scale=0.01)
+def _full_profile() -> bool:
+    return bool(os.environ.get("GINFLOW_FULL"))
+
+
+def reduce_scenario(scenario: str, incremental: bool):
+    """Centralised reduction of one scenario; returns (report, wall_seconds)."""
+    return reduce_workflow(_SCENARIOS[scenario](), incremental)
+
+
+def reduce_workflow(workflow, incremental: bool):
+    """Centralised reduction of ``workflow``; returns (report, wall_seconds)."""
     encoding = encode_workflow(workflow)
     solution = encoding.to_multiset()
     registry = ServiceRegistry()
@@ -70,42 +104,22 @@ def _trace(report):
     return [(r.rule, r.depth, r.consumed, r.produced) for r in report.history]
 
 
-def test_reduction_micro_benchmark(benchmark):
-    """Micro-benchmark: one 128-task reduction with the incremental engine."""
-    report = benchmark.pedantic(
-        lambda: _reduce_montage(118, incremental=True)[0], rounds=1, iterations=1
-    )
-    assert report.reactions > 0
-
-
-def test_trace_equivalence_small():
-    """Incremental and naive engines agree reaction-for-reaction."""
-    incremental, _ = _reduce_montage(20, incremental=True)
-    naive, _ = _reduce_montage(20, incremental=False)
-    assert _trace(incremental) == _trace(naive)
-    assert incremental.reactions == naive.reactions
-    assert incremental.match_attempts < naive.match_attempts
-
-
-def test_montage_500_speedup_and_artifact():
-    """500-task Montage: ≥5× fewer match attempts, identical trace; publish."""
-    incremental, seconds_incremental = _reduce_montage(_LARGE_PROJECTIONS, incremental=True)
-    naive, seconds_naive = _reduce_montage(_LARGE_PROJECTIONS, incremental=False)
-
-    assert _trace(incremental) == _trace(naive)
+def _measure(scenario: str) -> dict:
+    """Run one scenario with both engines; check parity and package the row."""
+    incremental, seconds_incremental = reduce_scenario(scenario, incremental=True)
+    naive, seconds_naive = reduce_scenario(scenario, incremental=False)
+    assert _trace(incremental) == _trace(naive), f"{scenario}: trace diverged"
     attempts_speedup = naive.match_attempts / max(1, incremental.match_attempts)
     assert attempts_speedup >= 5.0, (
-        f"expected >=5x fewer match attempts, got {attempts_speedup:.1f}x "
+        f"{scenario}: expected >=5x fewer match attempts, got {attempts_speedup:.1f}x "
         f"({naive.match_attempts} -> {incremental.match_attempts})"
     )
-
-    payload = {
-        "benchmark": "hocl-reduction",
-        "scenario": f"montage-{_LARGE_PROJECTIONS + 10}-task-centralized",
+    return {
         "reactions": incremental.reactions,
         "incremental": {
             "match_attempts": incremental.match_attempts,
             "wall_seconds": round(seconds_incremental, 3),
+            "timings": {k: round(v, 3) for k, v in incremental.timings.items()},
         },
         "naive": {
             "match_attempts": naive.match_attempts,
@@ -116,5 +130,97 @@ def test_montage_500_speedup_and_artifact():
             "wall_clock": round(seconds_naive / max(1e-9, seconds_incremental), 2),
         },
     }
+
+
+def test_reduction_micro_benchmark(benchmark):
+    """Micro-benchmark: one 128-task reduction with the incremental engine."""
+    report = benchmark.pedantic(
+        lambda: reduce_workflow(
+            montage_workflow(projections=118, duration_scale=0.01), incremental=True
+        )[0],
+        rounds=1,
+        iterations=1,
+    )
+    assert report.reactions > 0
+
+
+def test_trace_equivalence_small():
+    """Incremental and naive engines agree reaction-for-reaction."""
+    scenario = "montage-100-centralized"
+    incremental, _ = reduce_scenario(scenario, incremental=True)
+    naive, _ = reduce_scenario(scenario, incremental=False)
+    assert _trace(incremental) == _trace(naive)
+    assert incremental.reactions == naive.reactions
+    assert incremental.match_attempts < naive.match_attempts
+
+
+def naive_calibration(
+    measured_naive_wall: float, committed_naive_wall: float, floor: float | None = None
+) -> float:
+    """Machine-speed factor: this machine's naive wall over the committed one.
+
+    The one calibration used by both the acceptance budget below and the CI
+    gate (``check_regression.py``): scaling a committed incremental budget by
+    this factor makes the comparison hardware-relative, so a uniformly slower
+    runner moves both sides while a real incremental regression still fails.
+    ``floor`` clamps the factor from below (the acceptance budget uses 1.0 so
+    fast machines keep the strict absolute budget).
+    """
+    factor = measured_naive_wall / max(1e-9, committed_naive_wall)
+    if floor is not None:
+        factor = max(floor, factor)
+    return factor
+
+
+def _committed_scenarios() -> dict:
+    if not _ARTIFACT.exists():
+        return {}
+    try:
+        return json.loads(_ARTIFACT.read_text()).get("scenarios", {})
+    except (json.JSONDecodeError, AttributeError):
+        return {}
+
+
+def test_benchmark_matrix_and_artifact():
+    """Run the scenario matrix, enforce the wall budget, publish the artifact."""
+    committed = _committed_scenarios()  # read before the rewrite below
+    scenarios = {}
+    for scenario in _SCENARIOS:
+        if scenario in _FULL_ONLY and not _full_profile():
+            continue
+        scenarios[scenario] = _measure(scenario)
+
+    # The 5 s acceptance budget is an authoring-machine number.  Calibrate it
+    # by this machine's naive run over the committed naive wall (floored at
+    # 1.0 so fast machines keep the strict budget) — a slower CI runner
+    # scales both sides, a real incremental regression still fails.
+    montage_500 = scenarios["montage-500-centralized"]
+    committed_naive = (
+        committed.get("montage-500-centralized", {}).get("naive", {}).get("wall_seconds")
+    )
+    calibration = 1.0
+    if committed_naive:
+        calibration = naive_calibration(
+            montage_500["naive"]["wall_seconds"], committed_naive, floor=1.0
+        )
+    budget = _MONTAGE_500_BUDGET * calibration
+    assert montage_500["incremental"]["wall_seconds"] <= budget, (
+        f"montage-500 centralised reduction took "
+        f"{montage_500['incremental']['wall_seconds']} s "
+        f"(budget {_MONTAGE_500_BUDGET} s x calibration {calibration:.2f})"
+    )
+
+    # keep the committed rows for the scenarios this profile deliberately
+    # skipped (and only those: renamed/removed scenarios must not linger)
+    for name, row in committed.items():
+        if name in _SCENARIOS:
+            scenarios.setdefault(name, row)
+
+    payload = {
+        "benchmark": "hocl-reduction",
+        "schema_version": 2,
+        "scenarios": scenarios,
+    }
     _ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"\nreduction benchmark: {json.dumps(payload['speedup'])} -> {_ARTIFACT.name}")
+    summary = {name: row["speedup"] for name, row in scenarios.items()}
+    print(f"\nreduction benchmarks: {json.dumps(summary)} -> {_ARTIFACT.name}")

@@ -80,6 +80,9 @@ class AgentCore:
         self.match_attempts = 0
         self.reactions = 0
         self.reduction_units = 0.0
+        #: wall-clock seconds per reduction phase (match/rewrite/index),
+        #: aggregated across every stimulus this core handled
+        self.reduction_timings: dict[str, float] = {}
 
     # ----------------------------------------------------------------- state
     def pending_sources(self) -> list[str]:
@@ -196,6 +199,8 @@ class AgentCore:
         self.match_attempts += report.match_attempts
         self.reactions += report.reactions
         self.reduction_units += report.reduction_units(len(self.solution))
+        for phase, seconds in report.timings.items():
+            self.reduction_timings[phase] = self.reduction_timings.get(phase, 0.0) + seconds
         # NOTE: the rules' effect hooks hold a reference to self._pending, so
         # the list must be drained in place (never rebound).
         actions = list(self._pending)

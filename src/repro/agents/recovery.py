@@ -19,7 +19,7 @@ ignore thanks to the one-shot rules.
 from __future__ import annotations
 
 from repro.hoclflow.translator import TaskEncoding
-from repro.messaging.message import Message, MessageKind
+from repro.messaging.message import Message, MessageKind, adapt_count
 
 from .actions import Action
 from .core import AgentCore
@@ -34,8 +34,8 @@ def replay_messages(core: AgentCore, messages: list[Message]) -> list[Action]:
         if message.kind == MessageKind.RESULT:
             actions.extend(core.receive_result(message.sender, message.payload))
         elif message.kind == MessageKind.ADAPT:
-            count = int(message.payload) if message.payload is not None else 1
-            actions.extend(core.receive_adapt(count))
+            # same coercion as EnactmentEngine.deliver, by construction
+            actions.extend(core.receive_adapt(adapt_count(message.payload)))
         # STATUS/CONTROL messages do not change an agent's local solution.
     return actions
 

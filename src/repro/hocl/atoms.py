@@ -58,6 +58,17 @@ class Atom:
     #: constraints (``x::int``) and by diagnostics.
     kind: str = "atom"
 
+    #: Whether the atom's structure can change after construction.  Only
+    #: sub-solutions (and containers transitively holding one) are mutable;
+    #: containers of immutable atoms may cache their structural hash.
+    _mutable: bool = False
+
+    #: Cached multiset index keys (see
+    #: :func:`repro.hocl.multiset.atom_index_keys`).  ``None`` means "not
+    #: computed yet"; classes whose keys are per-instance carry a slot,
+    #: classes whose keys are constant get a class-level tuple.
+    _index_keys: Any = None
+
     def is_structured(self) -> bool:
         """Return ``True`` for tuples, lists and sub-solutions."""
         return False
@@ -70,17 +81,20 @@ class Atom:
 class ScalarAtom(Atom):
     """Common base for atoms wrapping a single immutable Python value."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
     kind = "scalar"
 
     def __init__(self, value: Any):
         self.value = value
+        self._hash = hash((type(self).__name__, value))
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(self) is type(other) and self.value == other.value  # type: ignore[attr-defined]
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self.value))
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"{type(self).__name__}({self.value!r})"
@@ -143,27 +157,61 @@ class Symbol(Atom):
     Symbols with the same name compare equal.  HOCLflow reserved keywords
     (``SRC``, ``DST``, ``SRV``, ``IN``, ``PAR``, ``RES``, ...) are plain
     symbols; :mod:`repro.hoclflow.keywords` exposes them as constants.
+
+    Symbols are *interned*: constructing the same name repeatedly returns the
+    same object (up to a bounded table size), so the extremely frequent
+    symbol-equality checks of the matcher short-circuit on identity.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash", "_index_keys")
     kind = "symbol"
 
+    #: Interning table; bounded so pathological name churn cannot leak.
+    _interned: dict[str, "Symbol"] = {}
+    _INTERN_LIMIT = 65536
+
+    def __new__(cls, name: str):
+        if cls is Symbol and isinstance(name, str):
+            cached = Symbol._interned.get(name)
+            if cached is not None:
+                return cached
+        return super().__new__(cls)
+
     def __init__(self, name: str):
+        if isinstance(name, str) and getattr(self, "name", None) == name:
+            return  # an interned instance handed back by __new__: already set up
         if not isinstance(name, str) or not name:
             raise AtomError(f"Symbol requires a non-empty string name, got {name!r}")
         self.name = name
+        self._hash = hash(("Symbol", name))
+        self._index_keys = None
+        if type(self) is Symbol and len(Symbol._interned) < Symbol._INTERN_LIMIT:
+            Symbol._interned.setdefault(name, self)
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Symbol) and other.name == self.name
 
     def __hash__(self) -> int:
-        return hash(("Symbol", self.name))
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Symbol({self.name!r})"
 
     def __str__(self) -> str:
         return self.name
+
+
+def _nested_solutions_in(items: Sequence["Atom"]) -> tuple:
+    """All solutions transitively nested in ``items`` (for version stamps)."""
+    solutions: list = []
+    for element in items:
+        if isinstance(element, Subsolution):
+            solutions.append(element.solution)
+        elif element._mutable:
+            solutions.extend(element._nested_sols)  # type: ignore[attr-defined]
+    return tuple(solutions)
 
 
 class TupleAtom(Atom):
@@ -176,7 +224,7 @@ class TupleAtom(Atom):
     address fields of a task sub-solution.
     """
 
-    __slots__ = ("elements",)
+    __slots__ = ("elements", "_hash", "_mutable", "_index_keys", "_nested_sols", "_reject_memo")
     kind = "tuple"
 
     def __init__(self, elements: Sequence[Any]):
@@ -184,6 +232,26 @@ class TupleAtom(Atom):
         if len(items) < 1:
             raise AtomError("TupleAtom requires at least one element")
         self.elements = items
+        self._hash = None
+        self._mutable = any(e._mutable for e in items)
+        self._index_keys = None
+        self._nested_sols = _nested_solutions_in(items) if self._mutable else ()
+        #: pattern -> structure version at which the pattern proved this
+        #: tuple unmatchable (see TuplePattern.quick_reject); lazily created
+        self._reject_memo: dict | None = None
+
+    def structure_version(self) -> int:
+        """Monotonic stamp of the tuple's mutable state.
+
+        The elements themselves never change; only nested solutions can.
+        Solution versions only ever grow (and every deep mutation bumps its
+        enclosing solutions), so an unchanged sum proves the whole structure
+        is unchanged.  Immutable tuples always return 0.
+        """
+        total = 0
+        for solution in self._nested_sols:
+            total += solution.version
+        return total
 
     # -- structure ---------------------------------------------------------
     def is_structured(self) -> bool:
@@ -218,10 +286,29 @@ class TupleAtom(Atom):
 
     # -- equality ----------------------------------------------------------
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, TupleAtom) and self.elements == other.elements
+        if self is other:
+            return True
+        if not isinstance(other, TupleAtom):
+            return False
+        if (
+            self._hash is not None
+            and other._hash is not None
+            and self._hash != other._hash
+        ):
+            return False
+        return self.elements == other.elements
 
     def __hash__(self) -> int:
-        return hash(("TupleAtom", self.elements))
+        # The structural hash is cached for immutable tuples (the common
+        # case); tuples holding a sub-solution recompute it, since their
+        # contents may be rewritten in place.
+        cached = self._hash
+        if cached is not None:
+            return cached
+        value = hash(("TupleAtom", self.elements))
+        if not self._mutable:
+            self._hash = value
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return "TupleAtom(" + ", ".join(repr(e) for e in self.elements) + ")"
@@ -238,11 +325,14 @@ class ListAtom(Atom):
     they may be empty and are built by the ``list()`` external function.
     """
 
-    __slots__ = ("items",)
+    __slots__ = ("items", "_hash", "_mutable", "_nested_sols")
     kind = "list"
 
     def __init__(self, items: Iterable[Any] = ()):  # noqa: B008 - immutable default
         self.items = tuple(to_atom(i) for i in items)
+        self._hash = None
+        self._mutable = any(i._mutable for i in self.items)
+        self._nested_sols = _nested_solutions_in(self.items) if self._mutable else ()
 
     def is_structured(self) -> bool:
         return True
@@ -272,10 +362,26 @@ class ListAtom(Atom):
         return ListAtom([i.copy() for i in self.items])
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, ListAtom) and self.items == other.items
+        if self is other:
+            return True
+        if not isinstance(other, ListAtom):
+            return False
+        if (
+            self._hash is not None
+            and other._hash is not None
+            and self._hash != other._hash
+        ):
+            return False
+        return self.items == other.items
 
     def __hash__(self) -> int:
-        return hash(("ListAtom", self.items))
+        cached = self._hash
+        if cached is not None:
+            return cached
+        value = hash(("ListAtom", self.items))
+        if not self._mutable:
+            self._hash = value
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"ListAtom({list(self.items)!r})"
@@ -295,6 +401,7 @@ class Subsolution(Atom):
 
     __slots__ = ("solution",)
     kind = "solution"
+    _mutable = True
 
     def __init__(self, contents: Any = ()):  # Multiset | Iterable
         from .multiset import Multiset  # local import to avoid a cycle
@@ -317,11 +424,14 @@ class Subsolution(Atom):
         return Subsolution(self.solution.copy())
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Subsolution) and self.solution == other.solution
 
     def __hash__(self) -> int:
-        # Multisets are unordered: hash a sorted tuple of element hashes.
-        return hash(("Subsolution", tuple(sorted(hash(a) for a in self.solution))))
+        # Multisets are unordered: hash the order-insensitive content hash,
+        # which the multiset caches per version.
+        return hash(("Subsolution", self.solution.content_hash()))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Subsolution({list(self.solution)!r})"

@@ -43,9 +43,9 @@ reference implementation and as the baseline of the reduction benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Callable
 
-from .atoms import Atom, Subsolution, TupleAtom
 from .errors import ReductionError
 from .externals import ExternalRegistry, default_registry
 from .matching import Match
@@ -83,12 +83,21 @@ class ReductionReport:
     history:
         Per-reaction records (rule name, nesting depth, atoms consumed and
         produced), useful for debugging and for the execution traces.
+    timings:
+        Wall-clock seconds spent per reduction phase: ``"match"`` (searching
+        for applicable rules), ``"rewrite"`` (expanding rule products and
+        firing effects) and ``"index"`` (mutating the multiset — removals,
+        insertions and the index maintenance they imply).  Indicative, not
+        deterministic; used to diagnose where a perf regression lives.
     """
 
     reactions: int = 0
     match_attempts: int = 0
     inert: bool = True
     history: list[ReactionRecord] = field(default_factory=list)
+    timings: dict[str, float] = field(
+        default_factory=lambda: {"match": 0.0, "rewrite": 0.0, "index": 0.0}
+    )
 
     def merge(self, other: "ReductionReport") -> None:
         """Accumulate ``other`` into this report."""
@@ -96,6 +105,8 @@ class ReductionReport:
         self.match_attempts += other.match_attempts
         self.inert = self.inert and other.inert
         self.history.extend(other.history)
+        for phase, seconds in other.timings.items():
+            self.timings[phase] = self.timings.get(phase, 0.0) + seconds
 
     def reduction_units(self, solution_size: int) -> float:
         """Cost units of this reduction: attempts weighted by solution size.
@@ -173,36 +184,36 @@ class ReductionEngine:
 
     # --------------------------------------------------------------- internal
     def _nested_solutions(self, solution: Multiset) -> list[Multiset]:
-        """Sub-solutions at this level, including those wrapped in tuples."""
-        nested: list[Multiset] = []
-        for atom in solution.atoms():
-            if isinstance(atom, Subsolution):
-                nested.append(atom.solution)
-            elif isinstance(atom, TupleAtom):
-                for element in atom.elements:
-                    if isinstance(element, Subsolution):
-                        nested.append(element.solution)
-        return nested
+        """Sub-solutions at this level, including those wrapped in tuples.
+
+        The multiset maintains this list incrementally (in exactly the
+        depth-first descent order a scan would produce), so re-descending
+        after every reaction costs O(nested) instead of O(atoms).
+        """
+        return solution.nested_solutions()
 
     def _reduce_level(self, solution: Multiset, depth: int, report: ReductionReport) -> None:
+        incremental = self.incremental
         while True:
             if report.reactions >= self.max_steps:
                 report.inert = False
                 return
-            if self.incremental and solution.known_inert:
+            if incremental and solution.known_inert:
                 # proven inert at this exact version: nothing below can fire
                 # (any mutation in the subtree would have bumped the version
                 # through the parent chain).
                 return
             # 1. bring every nested solution to inertness first
             for nested in self._nested_solutions(solution):
+                if incremental and nested.known_inert:
+                    continue
                 self._reduce_level(nested, depth + 1, report)
                 if report.reactions >= self.max_steps:
                     report.inert = False
                     return
             # 2. then try one reaction at this level
             if not self._apply_first_applicable(solution, depth, report):
-                if self.incremental:
+                if incremental:
                     solution.note_inert()
                 return
             # a reaction at this level may have created new nested solutions
@@ -236,6 +247,7 @@ class ReductionEngine:
     def _apply_first_applicable(
         self, solution: Multiset, depth: int, report: ReductionReport
     ) -> bool:
+        started = perf_counter()
         for rule in self._ordered_rules(solution):
             if self.incremental and not self._plausible(rule, solution):
                 continue
@@ -243,8 +255,10 @@ class ReductionEngine:
             match = self._find_match_excluding_self(rule, solution)
             if match is None:
                 continue
+            report.timings["match"] += perf_counter() - started
             self._apply(rule, match, solution, depth, report)
             return True
+        report.timings["match"] += perf_counter() - started
         return False
 
     def _has_applicable_rule(self, solution: Multiset, report: ReductionReport) -> bool:
@@ -276,10 +290,13 @@ class ReductionEngine:
     def _apply(
         self, rule: Rule, match: Match, solution: Multiset, depth: int, report: ReductionReport
     ) -> None:
+        started = perf_counter()
         try:
             products = rule.produce(match, self.externals)
         except Exception as exc:  # noqa: BLE001 - context added
             raise ReductionError(f"rule {rule.name!r} failed to produce its products: {exc}") from exc
+        produced_at = perf_counter()
+        report.timings["rewrite"] += produced_at - started
         for consumed in match.consumed:
             solution.remove_identical(consumed)
         if rule.one_shot:
@@ -290,6 +307,7 @@ class ReductionEngine:
                 solution.discard(rule)
         for atom in products:
             solution.add(atom)
+        report.timings["index"] += perf_counter() - produced_at
         report.reactions += 1
         report.history.append(
             ReactionRecord(rule=rule.name, depth=depth, consumed=len(match.consumed), produced=len(products))

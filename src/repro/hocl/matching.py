@@ -75,7 +75,12 @@ def find_matches(
     # stable across mutations between yielded matches.  Sub-solution
     # patterns iterate live bucket views for speed: consume at most one
     # match per search (as the engine does) before mutating the solution.
-    candidate_lists = [solution.candidate_entries(pattern.index_key()) for pattern in patterns]
+    candidate_lists = []
+    for pattern in patterns:
+        entries = solution.candidate_entries(pattern.index_key())
+        if not entries:
+            return
+        candidate_lists.append(entries)
 
     def recurse(index: int, used: list, env: Bindings) -> Iterator[Match]:
         if index == len(patterns):
@@ -84,8 +89,13 @@ def find_matches(
             return
         pattern = patterns[index]
         for entry in candidate_lists[index]:
-            # `used` is at most len(patterns) long; identity scan is cheap.
-            if any(entry is taken for taken in used):
+            # `used` is at most len(patterns) long, and entries have no
+            # __eq__, so `in` is a C-speed identity scan.
+            if entry in used:
+                continue
+            # binding-free pre-check: skip the generator cascade for the
+            # (overwhelmingly common) structurally impossible candidates
+            if pattern.quick_reject(entry.atom):
                 continue
             for extended in pattern.match(entry.atom, env):
                 yield from recurse(index + 1, used + [entry], extended)

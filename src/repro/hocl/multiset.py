@@ -36,7 +36,18 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Iterator
 
-from .atoms import Atom, ListAtom, Subsolution, Symbol, TupleAtom, to_atom
+from .atoms import (
+    Atom,
+    BoolAtom,
+    FloatAtom,
+    IntAtom,
+    ListAtom,
+    StringAtom,
+    Subsolution,
+    Symbol,
+    TupleAtom,
+    to_atom,
+)
 
 __all__ = ["Multiset", "atom_index_keys"]
 
@@ -45,6 +56,23 @@ _KIND_RULE = ("kind", "rule")
 
 #: Shared empty bucket returned for absent keys (never mutated).
 _EMPTY_BUCKET: list = []
+
+
+def _nested_solutions_of(atom: Atom) -> "list[Multiset]":
+    """The solutions directly nested in ``atom``, in reduction order.
+
+    Mirrors the engine's depth-first descent: a sub-solution atom contributes
+    its own solution, and a tuple contributes the solutions of its
+    sub-solution elements (this is how task fields are encoded).  Solutions
+    inside list atoms are *not* reduced by the engine and are excluded.
+    """
+    if isinstance(atom, Subsolution):
+        return [atom.solution]
+    if isinstance(atom, TupleAtom):
+        return [
+            element.solution for element in atom.elements if isinstance(element, Subsolution)
+        ]
+    return []
 
 
 def atom_index_keys(atom: Atom) -> tuple[Any, ...]:
@@ -60,18 +88,36 @@ def atom_index_keys(atom: Atom) -> tuple[Any, ...]:
     Structurally equal atoms always share the same buckets, so the specific
     bucket named by a pattern's :meth:`~repro.hocl.patterns.Pattern.index_key`
     is guaranteed to contain every atom that pattern could match.
+
+    Keys are immutable per atom (a tuple's head never changes), so they are
+    computed once and cached — per instance for symbols/tuples/rules, as a
+    class-level constant for the single-bucket kinds.
     """
+    cached = atom._index_keys
+    if cached is not None:
+        return cached
     kind_key = ("kind", atom.kind)
     if isinstance(atom, Symbol):
-        return (("symbol", atom.name), kind_key)
-    if isinstance(atom, TupleAtom):
+        keys: tuple[Any, ...] = (("symbol", atom.name), kind_key)
+    elif isinstance(atom, TupleAtom):
         head = atom.head_symbol()
-        if head is not None:
-            return (("tuple", head), kind_key)
-        return (kind_key,)
-    if atom.kind == "rule":
-        return (("rule", atom.name), kind_key)  # type: ignore[attr-defined]
-    return (kind_key,)
+        keys = (("tuple", head), kind_key) if head is not None else (kind_key,)
+    elif atom.kind == "rule":
+        keys = (("rule", atom.name), kind_key)  # type: ignore[attr-defined]
+    else:
+        keys = (kind_key,)
+    try:
+        atom._index_keys = keys
+    except AttributeError:
+        pass  # class without a cache slot (covered by the constants below)
+    return keys
+
+
+# Single-bucket kinds: every instance shares the same keys — store them as
+# class-level constants so `atom_index_keys` returns without any allocation.
+for _atom_class in (IntAtom, FloatAtom, BoolAtom, StringAtom, ListAtom, Subsolution):
+    _atom_class._index_keys = (("kind", _atom_class.kind),)
+del _atom_class
 
 
 class _Entry:
@@ -104,6 +150,10 @@ class Multiset:
         "_inert_version",
         "_rules_cache",
         "_rules_dirty",
+        "_nested",
+        "_content_hash",
+        "_hash_version",
+        "_reject_cache",
     )
 
     def __init__(self, contents: Iterable[Any] = ()):  # noqa: B008
@@ -118,6 +168,20 @@ class Multiset:
         self._inert_version = -1
         self._rules_cache: list[Atom] = []
         self._rules_dirty = True
+        #: directly nested solutions in reduction order (sub-solution atoms,
+        #: plus sub-solutions stored inside tuple elements) — maintained on
+        #: every add/remove so the engine's depth-first descent does not
+        #: rescan every atom after every reaction.  Each occurrence is tagged
+        #: with its owning entry so removal is positional even when the same
+        #: solution object is aliased into several entries.
+        self._nested: list[tuple[_Entry, Multiset]] = []
+        self._content_hash = 0
+        self._hash_version = -1
+        #: pattern -> version at which the pattern's quick check proved the
+        #: solution unmatchable; valid while the version is unchanged (see
+        #: SolutionPattern.quick_reject).  Keyed by the pattern object itself
+        #: (identity hash) so a recycled id can never alias a stale entry.
+        self._reject_cache: dict[Any, int] = {}
         for value in contents:
             self.add(value)
 
@@ -167,10 +231,12 @@ class Multiset:
             atom.solution._parents.append(self)
         elif isinstance(atom, TupleAtom):
             for element in atom.elements:
-                self._adopt(element)
+                if element._mutable:
+                    self._adopt(element)
         elif isinstance(atom, ListAtom):
             for item in atom.items:
-                self._adopt(item)
+                if item._mutable:
+                    self._adopt(item)
 
     def _disown(self, atom: Atom) -> None:
         """Drop one parent registration per solution nested in ``atom``."""
@@ -182,10 +248,12 @@ class Multiset:
                     break
         elif isinstance(atom, TupleAtom):
             for element in atom.elements:
-                self._disown(element)
+                if element._mutable:
+                    self._disown(element)
         elif isinstance(atom, ListAtom):
             for item in atom.items:
-                self._disown(item)
+                if item._mutable:
+                    self._disown(item)
 
     # ------------------------------------------------------------------ core
     def add(self, value: Any) -> Atom:
@@ -193,11 +261,21 @@ class Multiset:
         atom = to_atom(value)
         entry = _Entry(atom)
         self._entries.append(entry)
+        index = self._index
         for key in atom_index_keys(atom):
-            self._index.setdefault(key, []).append(entry)
+            bucket = index.get(key)
+            if bucket is None:
+                index[key] = [entry]
+            else:
+                bucket.append(entry)
         if atom.kind == "rule":
             self._rules_dirty = True
-        self._adopt(atom)
+        if atom._mutable:
+            # only atoms holding a sub-solution somewhere need parent wiring
+            # and nested-solution tracking
+            for solution in _nested_solutions_of(atom):
+                self._nested.append((entry, solution))
+            self._adopt(atom)
         self._touch()
         return atom
 
@@ -256,15 +334,21 @@ class Multiset:
                 del self._index[key]
         if atom.kind == "rule":
             self._rules_dirty = True
-        self._disown(atom)
+        if atom._mutable:
+            # drop exactly this entry's occurrences (identity on the entry,
+            # not the solution: the same solution may be aliased elsewhere)
+            self._nested = [pair for pair in self._nested if pair[0] is not entry]
+            self._disown(atom)
         self._touch()
 
     def clear(self) -> None:
         """Remove every atom."""
         for entry in self._entries:
-            self._disown(entry.atom)
+            if entry.atom._mutable:
+                self._disown(entry.atom)
         self._entries.clear()
         self._index.clear()
+        self._nested.clear()
         self._rules_dirty = True
         self._touch()
 
@@ -389,6 +473,16 @@ class Multiset:
         """Every top-level sub-solution atom."""
         return [entry.atom for entry in self._index.get(("kind", "solution"), ())]  # type: ignore[misc]
 
+    def nested_solutions(self) -> list["Multiset"]:
+        """Directly nested solutions in reduction order (maintained, not scanned).
+
+        The list contains the solutions of every top-level sub-solution atom
+        and of every sub-solution stored inside a tuple element, in entry
+        order — exactly the depth-first descent order of the reduction
+        engine.  Returns a snapshot safe to iterate across mutations.
+        """
+        return [solution for _entry, solution in self._nested]
+
     def rules(self) -> list[Atom]:
         """Every top-level rule atom (higher-order content of the solution)."""
         return [entry.atom for entry in self._index.get(_KIND_RULE, ())]
@@ -433,11 +527,27 @@ class Multiset:
                 )
         return total
 
+    def content_hash(self) -> int:
+        """Order-insensitive structural hash of the contents, cached per version."""
+        if self._hash_version != self._version:
+            self._content_hash = hash(tuple(sorted(hash(entry.atom) for entry in self._entries)))
+            self._hash_version = self._version
+        return self._content_hash
+
     # -------------------------------------------------------------- equality
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Multiset):
             return NotImplemented
+        if self is other:
+            return True
         if len(self._entries) != len(other._entries):
+            return False
+        if (
+            self._hash_version == self._version
+            and other._hash_version == other._version
+            and self._content_hash != other._content_hash
+        ):
+            # both hashes are fresh and differ: contents cannot be equal
             return False
         remaining = [entry.atom for entry in other._entries]
         for entry in self._entries:

@@ -63,6 +63,27 @@ __all__ = [
 #: variable name -> list of atoms for omega (rest) variables.
 Bindings = dict[str, Any]
 
+#: Rejection-memo size at which dead entries are pruned.  Long adaptive runs
+#: retire one-shot rules (and their pattern objects) continually; entries
+#: stamped at an older version/structure stamp can never hit again, so
+#: dropping them bounds both the dict and the strong references it holds.
+_MEMO_PRUNE_SIZE = 64
+
+
+def _prune_memo(memo: dict, current_stamp: int) -> None:
+    """Bound a rejection memo: drop stale entries, clear if still over-full.
+
+    Entries stamped at an older version can never hit again and go first.
+    When every entry carries the current stamp (e.g. an immutable tuple,
+    whose stamp is always 0), the memo is cleared outright — the entries are
+    valid but recomputing them is cheap, and an unbounded dict would pin
+    every retired rule's pattern objects forever.
+    """
+    for key in [key for key, stamp in memo.items() if stamp != current_stamp]:
+        del memo[key]
+    if len(memo) >= _MEMO_PRUNE_SIZE:
+        memo.clear()
+
 
 def _bind(bindings: Bindings, name: str, value: Any) -> Bindings | None:
     """Extend ``bindings`` with ``name=value`` if consistent, else ``None``."""
@@ -89,6 +110,17 @@ class Pattern:
     def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
         """Yield every extension of ``bindings`` under which ``atom`` matches."""
         raise NotImplementedError
+
+    def quick_reject(self, atom: Atom) -> bool:
+        """Cheap, binding-free pre-check used by the matcher's candidate loops.
+
+        Returns ``True`` only when :meth:`match` provably yields nothing for
+        ``atom`` under *any* binding environment — the check must be
+        conservative, since it cannot see variable constraints.  The default
+        rejects nothing.  This is the matcher's main early exit: a failing
+        candidate costs a few attribute reads instead of a generator cascade.
+        """
+        return False
 
     def variables(self) -> set[str]:
         """Names of all variables (including omegas) referenced by the pattern."""
@@ -139,6 +171,14 @@ class Var(Pattern):
         extended = _bind(bindings, self.name, atom)
         if extended is not None:
             yield extended
+
+    def quick_reject(self, atom: Atom) -> bool:
+        kind = self.kind
+        if kind is None:
+            return False
+        if kind == "number":
+            return atom.kind not in ("int", "float")
+        return atom.kind != kind
 
     def variables(self) -> set[str]:
         return {self.name}
@@ -192,6 +232,9 @@ class Literal(Pattern):
     def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
         if atom == self.atom:
             yield bindings
+
+    def quick_reject(self, atom: Atom) -> bool:
+        return atom != self.atom
 
     def index_key(self) -> Any | None:
         # Structural equality implies identical index keys, so the literal's
@@ -252,6 +295,38 @@ class TuplePattern(Pattern):
 
         yield from recurse(0, bindings)
 
+    def quick_reject(self, atom: Atom) -> bool:
+        if not isinstance(atom, TupleAtom):
+            return True
+        # Per-atom memo: a rejection is permanent for immutable tuples and
+        # valid while the structure version (sum of nested solution
+        # versions, monotonic) is unchanged for mutable ones.  The candidate
+        # scans of the engine revisit mostly-unchanged tuples after every
+        # reaction, so this is a single dict lookup in the common case.
+        stamp = 0
+        for solution in atom._nested_sols:
+            stamp += solution._version
+        memo = atom._reject_memo
+        if memo is not None and memo.get(self) == stamp:
+            return True
+        size = len(atom.elements)
+        own = self.elements
+        if (size != len(own)) if self.rest is None else (size < len(own)):
+            rejected = True
+        else:
+            rejected = False
+            for pattern, element in zip(own, atom.elements):
+                if pattern.quick_reject(element):
+                    rejected = True
+                    break
+        if rejected:
+            if memo is None:
+                memo = atom._reject_memo = {}
+            elif len(memo) >= _MEMO_PRUNE_SIZE:
+                _prune_memo(memo, stamp)
+            memo[self] = stamp
+        return rejected
+
     def variables(self) -> set[str]:
         names: set[str] = set()
         for element in self.elements:
@@ -283,7 +358,7 @@ class SolutionPattern(Pattern):
     solution ``<>``).
     """
 
-    __slots__ = ("elements", "rest")
+    __slots__ = ("elements", "rest", "_element_keys")
 
     def __init__(self, *elements: Any, rest: Omega | None = None):
         patterns = []
@@ -300,6 +375,9 @@ class SolutionPattern(Pattern):
             raise PatternError("omega supplied both positionally and via rest=")
         self.elements = tuple(patterns)
         self.rest = rest if rest is not None else rest_from_elements
+        #: element index keys, precomputed once: consulted per candidate in
+        #: the match/quick-reject hot loops
+        self._element_keys = tuple(e.index_key() for e in self.elements)
 
     def match(self, atom: Atom, bindings: Bindings) -> Iterator[Bindings]:
         if not isinstance(atom, Subsolution):
@@ -314,18 +392,22 @@ class SolutionPattern(Pattern):
         # head-symbol index (same subsequence-of-insertion-order guarantee as
         # the top-level matcher, so enumeration order is unchanged).  Live
         # bucket views: nothing mutates the solution during one match search.
-        candidate_lists = [solution.live_entries(e.index_key()) for e in self.elements]
-        occurrences = solution.live_entries()
+        candidate_lists = []
+        for key in self._element_keys:
+            entries = solution.live_entries(key)
+            if not entries:
+                return
+            candidate_lists.append(entries)
 
         def recurse(index: int, used: list, env: Bindings) -> Iterator[Bindings]:
             if index == len(self.elements):
                 if self.rest is None:
                     yield env
                 else:
+                    # `used` holds _Entry objects (no __eq__), so `in` is an
+                    # identity test at C speed
                     remainder = [
-                        entry.atom
-                        for entry in occurrences
-                        if not any(entry is taken for taken in used)
+                        entry.atom for entry in solution.live_entries() if entry not in used
                     ]
                     extended = _bind(env, self.rest.name, remainder)
                     if extended is not None:
@@ -333,12 +415,48 @@ class SolutionPattern(Pattern):
                 return
             pattern = self.elements[index]
             for entry in candidate_lists[index]:
-                if any(entry is taken for taken in used):
+                if entry in used:
+                    continue
+                if pattern.quick_reject(entry.atom):
                     continue
                 for extended in pattern.match(entry.atom, env):
                     yield from recurse(index + 1, used + [entry], extended)
 
         yield from recurse(0, [], bindings)
+
+    def quick_reject(self, atom: Atom) -> bool:
+        if not isinstance(atom, Subsolution):
+            return True
+        solution = atom.solution
+        # Version-stamped memo: a rejection proven at the solution's current
+        # version holds until the solution mutates.  Task sub-solutions are
+        # scanned by the same patterns after every reaction while changing
+        # rarely, so this collapses the repeated scans to one dict lookup.
+        version = solution._version
+        cache = solution._reject_cache
+        if cache.get(self) == version:
+            return True
+        if len(cache) >= _MEMO_PRUNE_SIZE:
+            _prune_memo(cache, version)
+        size = len(solution._entries)
+        own = self.elements
+        if self.rest is None:
+            if size != len(own):
+                cache[self] = version
+                return True
+        elif size < len(own):
+            cache[self] = version
+            return True
+        for pattern, key in zip(own, self._element_keys):
+            entries = solution.live_entries(key)
+            if not entries:
+                cache[self] = version
+                return True
+            # a single candidate in the bucket must itself survive the check
+            if len(entries) == 1 and pattern.quick_reject(entries[0].atom):
+                cache[self] = version
+                return True
+        return False
 
     def variables(self) -> set[str]:
         names: set[str] = set()
@@ -381,6 +499,11 @@ class RulePattern(Pattern):
         extended = _bind(bindings, self.bind_as, atom)
         if extended is not None:
             yield extended
+
+    def quick_reject(self, atom: Atom) -> bool:
+        if atom.kind != "rule":
+            return True
+        return self.name is not None and atom.name != self.name  # type: ignore[attr-defined]
 
     def variables(self) -> set[str]:
         return {self.bind_as} if self.bind_as else set()

@@ -102,6 +102,7 @@ class Rule(Atom):
         "effect",
         "priority",
         "pattern_index_keys",
+        "_index_keys",
     )
     kind = "rule"
 
@@ -133,6 +134,7 @@ class Rule(Atom):
         #: possibly match — e.g. after a reaction, only rules whose head
         #: symbols are present in the solution are tried again.
         self.pattern_index_keys = tuple(p.index_key() for p in self.patterns)
+        self._index_keys = None  # lazily filled by repro.hocl.multiset.atom_index_keys
 
     # ----------------------------------------------------------- constructors
     @classmethod

@@ -11,12 +11,13 @@ from .broker import (
     profile_by_name,
 )
 from .kafka import KafkaBroker
-from .message import STATUS_TOPIC, Message, MessageKind, agent_topic
+from .message import STATUS_TOPIC, Message, MessageKind, adapt_count, agent_topic
 from .simulated import SimulatedBroker
 
 __all__ = [
     "Message",
     "MessageKind",
+    "adapt_count",
     "agent_topic",
     "STATUS_TOPIC",
     "Broker",

@@ -19,7 +19,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any
 
-__all__ = ["MessageKind", "Message", "agent_topic", "STATUS_TOPIC"]
+__all__ = ["MessageKind", "Message", "agent_topic", "adapt_count", "STATUS_TOPIC"]
 
 _COUNTER = itertools.count(1)
 
@@ -39,6 +39,18 @@ class MessageKind:
 def agent_topic(task_name: str) -> str:
     """The broker topic on which the agent managing ``task_name`` listens."""
     return f"ginflow.agent.{task_name}"
+
+
+def adapt_count(payload: Any) -> int:
+    """Number of ``ADAPT`` markers carried by an ADAPT message payload.
+
+    This is THE coercion applied to an ADAPT payload — the live delivery path
+    and the log-replay recovery path must both use it, otherwise a replayed
+    agent can inject a different number of markers than the agent it replaces
+    and diverge from the state the replay is meant to rebuild (Section IV-B).
+    ``None`` (a bare marker message) means one marker.
+    """
+    return int(payload) if payload is not None else 1
 
 
 @dataclass(frozen=True)

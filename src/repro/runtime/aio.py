@@ -101,10 +101,13 @@ class AsyncioRun:
         start = time.monotonic()
         for agent in engine.hosts.values():
             agent.task = asyncio.create_task(self._agent_loop(agent), name=f"sa-{agent.name}")
+        timed_out = False
         try:
             await asyncio.wait_for(self._done.wait(), timeout=timeout)
         except asyncio.TimeoutError:
-            pass
+            # surfaced on the report below: a cut-off run must not read like
+            # a normal one
+            timed_out = True
         # shut the agent tasks down, then drop any still-pending invocation
         for agent in engine.hosts.values():
             agent.queue.put_nowait(_POISON)
@@ -120,7 +123,7 @@ class AsyncioRun:
         for pending in list(self._invocations):
             pending.cancel()
         elapsed = time.monotonic() - start
-        return ReportAssembler(engine).assemble(
+        report = ReportAssembler(engine).assemble(
             mode="asyncio",
             executor="local",
             broker=self.config.broker,
@@ -129,6 +132,10 @@ class AsyncioRun:
             execution_time=elapsed,
             makespan=elapsed,
         )
+        if timed_out:
+            report.timed_out = True
+            report.succeeded = False
+        return report
 
     # ----------------------------------------------------------- agent loop
     async def _agent_loop(self, agent: _AsyncAgent) -> None:
@@ -145,7 +152,24 @@ class AsyncioRun:
         """Engine invoker: run the invocation as its own task on the loop."""
         task = asyncio.create_task(self._run_invocation(agent, prepared), name=f"invoke-{agent.name}")
         self._invocations.add(task)
-        task.add_done_callback(self._invocations.discard)
+        task.add_done_callback(self._on_invocation_done)
+
+    def _on_invocation_done(self, task: "asyncio.Task") -> None:
+        """Retrieve every invocation task's outcome so no exception is lost.
+
+        Service-level failures are already converted into failed
+        ``InvocationResult``s inside :meth:`_run_invocation`; anything left
+        here is a protocol bug in the dispatch itself, which must be surfaced
+        (an unretrieved task exception would otherwise vanish into asyncio's
+        garbage-collection warning and the run would hang until timeout).
+        """
+        self._invocations.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None:
+            print(f"exception in asyncio invocation task {task.get_name()!r}:", file=sys.stderr)
+            traceback.print_exception(type(exc), exc, exc.__traceback__)
 
     async def _run_invocation(self, agent: _AsyncAgent, prepared: PreparedInvocation) -> None:
         scale = self.config.threaded_time_scale
@@ -153,6 +177,8 @@ class AsyncioRun:
             await asyncio.sleep(agent.encoding.duration * scale)
         else:
             await asyncio.sleep(0)  # yield so concurrent agents interleave
+        # a raising service is converted into a failed result inside
+        # PreparedInvocation.invoke, identically for every runtime
         outcome = prepared.invoke()
         if inspect.isawaitable(outcome.value):
             # async service: the callable returned a coroutine — await it on

@@ -35,7 +35,7 @@ from repro.agents.actions import Action
 from repro.agents.core import AgentCore
 from repro.agents.recovery import rebuild_agent
 from repro.hoclflow.translator import TaskEncoding, WorkflowEncoding
-from repro.messaging import Message, MessageKind, STATUS_TOPIC, agent_topic
+from repro.messaging import Message, MessageKind, STATUS_TOPIC, adapt_count, agent_topic
 from repro.services import InvocationContext, InvocationResult, Service
 
 from ..results import RunReport
@@ -85,8 +85,24 @@ class PreparedInvocation:
     context: InvocationContext
 
     def invoke(self) -> InvocationResult:
-        """Run the service call itself (pure; no engine bookkeeping)."""
-        return self.service.invoke(self.parameters, self.context)
+        """Run the service call itself (pure; no engine bookkeeping).
+
+        Services contract to *return* failures rather than raise, but a
+        broken implementation that raises anyway must not kill the hosting
+        runtime's worker (thread, asyncio task, simulated callback) with the
+        invocation unaccounted — every runtime would hang until timeout with
+        no error attributed to the task.  The exception is converted into a
+        failed result here so all runtimes inherit the same behaviour.
+        """
+        try:
+            return self.service.invoke(self.parameters, self.context)
+        except Exception as exc:  # noqa: BLE001 - converted into a task failure
+            return InvocationResult(
+                value=None,
+                duration=self.context.duration,
+                failed=True,
+                error=f"{type(exc).__name__}: {exc}",
+            )
 
 
 class EnactmentEngine:
@@ -145,7 +161,9 @@ class EnactmentEngine:
         if message.kind == MessageKind.RESULT:
             return host.core.receive_result(message.sender, message.payload)
         if message.kind == MessageKind.ADAPT:
-            return host.core.receive_adapt(int(message.payload) if message.payload else 1)
+            # shared coercion: MUST match what recovery.replay_messages
+            # applies, or a replayed agent diverges from the one it replaces
+            return host.core.receive_adapt(adapt_count(message.payload))
         return []
 
     def complete_invocation(self, host: AgentHost, outcome: InvocationResult) -> list[Action]:

@@ -67,6 +67,9 @@ class ReportAssembler:
             report.duplicate_results_ignored += core.duplicates_ignored
             report.reduction_reactions += core.reactions
             report.reduction_match_attempts += core.match_attempts
+            timings = report.extra.setdefault("reduction_timings", {})
+            for phase, seconds in core.reduction_timings.items():
+                timings[phase] = timings.get(phase, 0.0) + seconds
             if name in exit_tasks and outcome.result is not None:
                 report.results[name] = outcome.result
         if engine.config.collect_timeline:

@@ -39,6 +39,11 @@ class RunReport:
     ----------
     succeeded:
         ``True`` when every exit task produced a (non-error) result.
+    timed_out:
+        ``True`` when a wall-clock runtime hit its timeout before the
+        coordinator reported completion.  A timed-out run never reports
+        ``succeeded=True``: the report rows describe an execution that was
+        cut off, not one that converged.
     mode / executor / broker / nodes / seed:
         Echo of the configuration actually used.
     deployment_time:
@@ -70,6 +75,7 @@ class RunReport:
     """
 
     succeeded: bool = False
+    timed_out: bool = False
     mode: str = "simulated"
     executor: str = "ssh"
     broker: str = "activemq"
@@ -113,6 +119,7 @@ class RunReport:
         """A flat dictionary convenient for tabular reporting."""
         return {
             "succeeded": self.succeeded,
+            "timed_out": self.timed_out,
             "mode": self.mode,
             "executor": self.executor,
             "broker": self.broker,
@@ -133,6 +140,8 @@ class RunReport:
         """Human-readable multi-line summary (used by the CLI)."""
         lines = [f"GinFlow run ({self.mode}, executor={self.executor}, broker={self.broker})"]
         lines.append(f"  succeeded          : {self.succeeded}")
+        if self.timed_out:
+            lines.append("  timed out          : True")
         lines.append(f"  deployment time    : {self.deployment_time:.3f} s")
         lines.append(f"  execution time     : {self.execution_time:.3f} s")
         lines.append(f"  makespan           : {self.makespan:.3f} s")

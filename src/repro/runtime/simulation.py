@@ -223,6 +223,7 @@ class SimulatedRun:
         )
         report.extra["status_updates"] = engine.coordinator.status_updates
         report.extra["virtual_events"] = self._sim.processed_events
+        report.extra["sim_wall_seconds"] = round(self._sim.wall_seconds, 6)
         return report
 
 

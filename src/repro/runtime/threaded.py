@@ -90,7 +90,7 @@ class ThreadedRun:
             )
             agent.thread.start()
 
-        self._done.wait(timeout=timeout)
+        completed = self._done.wait(timeout=timeout)
         # shut the agent threads down
         for agent in engine.hosts.values():
             agent.inbox.put(_POISON)
@@ -98,7 +98,7 @@ class ThreadedRun:
             if agent.thread is not None:
                 agent.thread.join(timeout=2.0)
         elapsed = time.monotonic() - start
-        return self._build_report(elapsed)
+        return self._build_report(elapsed, timed_out=not completed)
 
     # ----------------------------------------------------------- agent loop
     def _agent_loop(self, agent: _ThreadedAgent) -> None:
@@ -126,10 +126,10 @@ class ThreadedRun:
         engine.dispatch(agent, engine.complete_invocation(agent, outcome))
 
     # --------------------------------------------------------------- report
-    def _build_report(self, elapsed: float) -> RunReport:
+    def _build_report(self, elapsed: float, timed_out: bool = False) -> RunReport:
         engine = self._engine
         assert engine is not None
-        return ReportAssembler(engine).assemble(
+        report = ReportAssembler(engine).assemble(
             mode="threaded",
             executor="local",
             broker=self.config.broker,
@@ -138,6 +138,12 @@ class ThreadedRun:
             execution_time=elapsed,
             makespan=elapsed,
         )
+        if timed_out:
+            # the wait elapsed before the coordinator reported completion: a
+            # cut-off run must never read like a successful one
+            report.timed_out = True
+            report.succeeded = False
+        return report
 
 
 def run_threaded(workflow: Workflow, config: GinFlowConfig | None = None, timeout: float = 60.0) -> RunReport:

@@ -14,6 +14,7 @@ generators (:mod:`repro.simkernel.random`).
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Any, Callable, Generator, Iterable
 
 from .events import AllOf, AnyOf, Event, Process, Timeout
@@ -29,6 +30,7 @@ class Simulator:
         self._queue: list[tuple[float, int, Event, Any]] = []
         self._sequence = 0
         self._processed_events = 0
+        self._wall_seconds = 0.0
 
     # ------------------------------------------------------------ properties
     @property
@@ -40,6 +42,16 @@ class Simulator:
     def processed_events(self) -> int:
         """Number of events processed so far (diagnostics)."""
         return self._processed_events
+
+    @property
+    def wall_seconds(self) -> float:
+        """Real time spent inside :meth:`run` so far (diagnostics).
+
+        Together with :attr:`processed_events` and the per-phase timings of
+        :class:`~repro.hocl.engine.ReductionReport` this localises where the
+        real cost of a simulated run lives (kernel loop vs chemistry).
+        """
+        return self._wall_seconds
 
     def pending(self) -> int:
         """Number of events waiting in the queue."""
@@ -113,29 +125,33 @@ class Simulator:
         float
             The virtual time when the run stopped.
         """
-        while self._queue:
-            if max_events is not None and self._processed_events >= max_events:
-                break
-            time, _seq, entry, value = heapq.heappop(self._queue)
-            if until is not None and time > until:
-                # push back and stop at the horizon
-                heapq.heappush(self._queue, (time, _seq, entry, value))
+        started = perf_counter()
+        try:
+            while self._queue:
+                if max_events is not None and self._processed_events >= max_events:
+                    break
+                time, _seq, entry, value = heapq.heappop(self._queue)
+                if until is not None and time > until:
+                    # push back and stop at the horizon
+                    heapq.heappush(self._queue, (time, _seq, entry, value))
+                    self._now = until
+                    return self._now
+                self._now = time
+                self._processed_events += 1
+                if isinstance(entry, _TriggeredMarker):
+                    self._dispatch(entry.event)
+                else:
+                    event = entry
+                    if not event.triggered:
+                        event._triggered = True  # noqa: SLF001 - kernel-internal
+                        event._ok = True  # noqa: SLF001
+                        event._value = value  # noqa: SLF001
+                    self._dispatch(event)
+            if until is not None and self._now < until:
                 self._now = until
-                return self._now
-            self._now = time
-            self._processed_events += 1
-            if isinstance(entry, _TriggeredMarker):
-                self._dispatch(entry.event)
-            else:
-                event = entry
-                if not event.triggered:
-                    event._triggered = True  # noqa: SLF001 - kernel-internal
-                    event._ok = True  # noqa: SLF001
-                    event._value = value  # noqa: SLF001
-                self._dispatch(event)
-        if until is not None and self._now < until:
-            self._now = until
-        return self._now
+            return self._now
+        finally:
+            self._wall_seconds += perf_counter() - started
 
     @staticmethod
     def _dispatch(event: Event) -> None:

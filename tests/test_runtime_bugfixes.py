@@ -1,0 +1,152 @@
+"""Regression tests for the three runtime-layer bugfixes of PR 4.
+
+* ADAPT payload coercion: live delivery (``EnactmentEngine.deliver``) and
+  log-replay recovery (``recovery.replay_messages``) must apply the *same*
+  coercion, so a replayed agent reaches the exact state of the agent it
+  replaces (Section IV-B).
+* Silent invocation loss in the asyncio runtime: a service whose ``invoke``
+  *raises* (instead of returning a failed result) must surface as a failed
+  task, not hang the run until timeout.
+* Timeout swallowing: a run cut off by its wall-clock timeout must report
+  ``timed_out=True`` and ``succeeded=False`` in both the asyncio and the
+  threaded runtimes.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.agents import AgentCore
+from repro.agents.recovery import rebuild_agent
+from repro.hoclflow.translator import encode_workflow
+from repro.messaging import InProcessBroker, Message, MessageKind, adapt_count, agent_topic
+from repro.runtime import GinFlowConfig, run_asyncio, run_threaded
+from repro.runtime.enactment import AgentHost, EnactmentEngine, MonotonicClock
+from repro.services import InvocationContext, InvocationResult, Service, ServiceRegistry
+from repro.workflow import Task, Workflow, adaptive_diamond_workflow
+
+
+class TestAdaptCoercionParity:
+    def test_adapt_count_coercion(self):
+        assert adapt_count(None) == 1  # bare marker message
+        assert adapt_count(0) == 0
+        assert adapt_count(2) == 2
+        assert adapt_count("3") == 3
+
+    def _adapt_message(self, task: str, payload) -> Message:
+        return Message(
+            topic=agent_topic(task),
+            kind=MessageKind.ADAPT,
+            sender="tester",
+            recipient=task,
+            payload=payload,
+        )
+
+    def test_live_delivery_and_replay_reach_the_same_state(self):
+        # the adaptation-trigger task of the adaptive diamond accepts ADAPT
+        workflow = adaptive_diamond_workflow(2, 2)
+        encoding = encode_workflow(workflow)
+        task_name = next(iter(encoding.tasks))
+        task_encoding = encoding.tasks[task_name]
+
+        for payload in (None, 0, 1, 2, "2"):
+            config = GinFlowConfig(mode="threaded")
+            engine = EnactmentEngine(
+                config=config,
+                encoding=encoding,
+                clock=MonotonicClock(),
+                transport=InProcessBroker(config.broker_profile()),
+                invoker=lambda host, prepared: None,
+            )
+            live = engine.add_host(
+                AgentHost(encoding=task_encoding, core=AgentCore(task_encoding))
+            )
+            engine.boot(live)
+            message = self._adapt_message(task_name, payload)
+            engine.deliver(live, message)
+
+            replayed_core, _actions = rebuild_agent(task_encoding, [message])
+            assert replayed_core.solution == live.core.solution, (
+                f"replayed agent diverged from live agent for payload {payload!r}"
+            )
+            assert replayed_core.adaptations_applied == live.core.adaptations_applied
+
+
+class _RaisingService(Service):
+    """A service whose ``invoke`` raises — modelling broken service wiring.
+
+    ``PythonService`` converts callable exceptions into failed results, so
+    the only way ``PreparedInvocation.invoke`` can raise is a bug at this
+    level; the runtime must still convert it into a failed task instead of
+    losing the invocation.
+    """
+
+    def invoke(self, parameters: list, context: InvocationContext) -> InvocationResult:
+        raise RuntimeError("service wiring exploded")
+
+
+class TestInvocationLoss:
+    def _check(self, runner, mode):
+        registry = ServiceRegistry()
+        registry.register(_RaisingService("broken"))
+        workflow = Workflow("raising")
+        workflow.add_task(Task("A", "broken"))
+        config = GinFlowConfig(mode=mode, registry=registry)
+        start = time.monotonic()
+        report = runner(workflow, config, timeout=10.0)
+        elapsed = time.monotonic() - start
+        # the failure is fed back into the chemistry: no hang-until-timeout
+        assert elapsed < 5.0
+        assert not report.succeeded
+        assert not report.timed_out
+        assert report.tasks["A"].error
+        assert report.tasks["A"].failures == 1
+
+    def test_raising_invoke_fails_the_task_instead_of_hanging_asyncio(self):
+        self._check(run_asyncio, "asyncio")
+
+    def test_raising_invoke_fails_the_task_instead_of_hanging_threaded(self):
+        self._check(run_threaded, "threaded")
+
+
+class TestTimeoutSurfacing:
+    def _stuck_workflow(self, registry: ServiceRegistry, blocking: bool) -> Workflow:
+        if blocking:
+            registry.register_function("stuck", lambda: time.sleep(30.0))
+        else:
+
+            async def stuck():  # never finishes within the timeout
+                import asyncio
+
+                await asyncio.sleep(30.0)
+
+            registry.register_function("stuck", stuck)
+        workflow = Workflow("stuck")
+        workflow.add_task(Task("A", "stuck"))
+        return workflow
+
+    def test_asyncio_timeout_is_reported(self):
+        registry = ServiceRegistry()
+        workflow = self._stuck_workflow(registry, blocking=False)
+        report = run_asyncio(
+            workflow, GinFlowConfig(mode="asyncio", registry=registry), timeout=0.2
+        )
+        assert report.timed_out
+        assert not report.succeeded
+
+    def test_threaded_timeout_is_reported(self):
+        registry = ServiceRegistry()
+        workflow = self._stuck_workflow(registry, blocking=True)
+        report = run_threaded(
+            workflow, GinFlowConfig(mode="threaded", registry=registry), timeout=0.2
+        )
+        assert report.timed_out
+        assert not report.succeeded
+
+    def test_completed_run_is_not_marked_timed_out(self):
+        workflow = Workflow("quick")
+        workflow.add_task(Task("A", "anything"))
+        report = run_threaded(workflow, GinFlowConfig(mode="threaded"), timeout=10.0)
+        assert report.succeeded
+        assert not report.timed_out
+        assert report.summary()["timed_out"] is False
