@@ -1,9 +1,10 @@
 #!/usr/bin/env python
 """CI regression gate for the HOCL reduction benchmarks.
 
-Re-runs a scaled-down scenario (default: ``montage-100-centralized``) with
-the incremental engine and compares it against the committed
-``BENCH_reduction.json``:
+Re-runs a set of scaled-down scenarios (default: ``montage-100-centralized``
+plus the two scenario-catalog families, ``cybershake-200-centralized`` and
+``sipht-200-centralized``) with the incremental engine and compares each
+against the committed ``BENCH_reduction.json``:
 
 * ``match_attempts`` must be **exactly** the committed value — the search is
   deterministic, so any drift is a real behavioural change, machine speed
@@ -16,16 +17,20 @@ the incremental engine and compares it against the committed
   2× slower doubles both sides, so only a real slowdown of the incremental
   engine relative to the committed artifact trips the gate.
 
-Exit status is non-zero on regression, so the CI benchmarks job fails the
-PR.  ``GINFLOW_BENCH_TOLERANCE`` widens the margin for especially noisy
+Gating several structurally distinct scenarios means a data-layer change
+that only bites wide fan-ins (cybershake) or fragmented independent regions
+(sipht) fails the PR even when the montage chain is unaffected.
+
+Exit status is non-zero on any regression, so the CI benchmarks job fails
+the PR.  ``GINFLOW_BENCH_TOLERANCE`` widens the margin for especially noisy
 hardware.
 
 Usage::
 
-    python benchmarks/check_regression.py [--scenario NAME] [--runs N]
+    python benchmarks/check_regression.py [--scenario NAME ...] [--runs N]
 
 Environment:
-    GINFLOW_BENCH_SCENARIO    overrides --scenario
+    GINFLOW_BENCH_SCENARIO    comma-separated scenario list overriding --scenario
     GINFLOW_BENCH_TOLERANCE   relative wall-clock tolerance (default 0.20)
 """
 
@@ -41,13 +46,68 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from test_bench_reduction import _ARTIFACT, naive_calibration, reduce_scenario  # noqa: E402
 
+#: Scenarios gated by default: the montage chain plus one wide-fan-in and one
+#: fragmented-fan-in family from the scenario catalog.
+DEFAULT_SCENARIOS = (
+    "montage-100-centralized",
+    "cybershake-200-centralized",
+    "sipht-200-centralized",
+)
+
+
+def check_scenario(scenario: str, baseline: dict, runs: int, tolerance: float, slack: float) -> bool:
+    """Gate one scenario against its committed row; returns True on pass."""
+    incremental_baseline = baseline["incremental"]
+    naive_baseline = baseline["naive"]
+
+    best_wall = None
+    best_naive_wall = None
+    attempts = None
+    for _ in range(max(1, runs)):
+        report, wall = reduce_scenario(scenario, incremental=True)
+        attempts = report.match_attempts
+        best_wall = wall if best_wall is None else min(best_wall, wall)
+        _naive_report, naive_wall = reduce_scenario(scenario, incremental=False)
+        best_naive_wall = (
+            naive_wall if best_naive_wall is None else min(best_naive_wall, naive_wall)
+        )
+
+    passed = True
+    if attempts != incremental_baseline["match_attempts"]:
+        print(
+            f"FAIL {scenario}: match_attempts {attempts} != committed "
+            f"{incremental_baseline['match_attempts']} (deterministic counter changed)"
+        )
+        passed = False
+    # calibrate the committed budget to this machine: the naive engine run
+    # here over the committed naive wall measures how fast this hardware is
+    calibration = naive_calibration(best_naive_wall, naive_baseline["wall_seconds"])
+    budget = incremental_baseline["wall_seconds"] * calibration * (1.0 + tolerance) + max(0.0, slack)
+    if best_wall > budget:
+        print(
+            f"FAIL {scenario}: wall {best_wall:.3f}s exceeds the committed "
+            f"{incremental_baseline['wall_seconds']}s by more than {tolerance:.0%} after "
+            f"calibration x{calibration:.2f} + {slack}s slack "
+            f"(budget {budget:.3f}s)"
+        )
+        passed = False
+    if passed:
+        print(
+            f"OK {scenario}: wall {best_wall:.3f}s (committed "
+            f"{incremental_baseline['wall_seconds']}s, calibration x{calibration:.2f}, "
+            f"budget {budget:.3f}s), match_attempts {attempts} (unchanged)"
+        )
+    return passed
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--scenario",
-        default=os.environ.get("GINFLOW_BENCH_SCENARIO", "montage-100-centralized"),
-        help="scenario name present in the committed BENCH_reduction.json",
+        action="append",
+        default=None,
+        help="scenario name present in the committed BENCH_reduction.json "
+        f"(repeatable; default: {', '.join(DEFAULT_SCENARIOS)})",
     )
     parser.add_argument(
         "--runs", type=int, default=5, help="repetitions; the best wall time is compared"
@@ -62,55 +122,30 @@ def main() -> int:
     )
     args = parser.parse_args()
     tolerance = float(os.environ.get("GINFLOW_BENCH_TOLERANCE", "0.20"))
+    env_scenarios = os.environ.get("GINFLOW_BENCH_SCENARIO")
+    if args.scenario:  # an explicit flag always wins over the environment
+        scenarios = list(args.scenario)
+    elif env_scenarios:
+        scenarios = [name.strip() for name in env_scenarios.split(",") if name.strip()]
+    else:
+        scenarios = list(DEFAULT_SCENARIOS)
 
     if not _ARTIFACT.exists():
         print(f"no committed {_ARTIFACT.name}; nothing to compare against")
         return 1
     committed = json.loads(_ARTIFACT.read_text())
-    scenarios = committed.get("scenarios", {})
-    if args.scenario not in scenarios:
-        print(f"scenario {args.scenario!r} not in committed {_ARTIFACT.name}")
-        return 1
-    baseline = scenarios[args.scenario]["incremental"]
-    naive_baseline = scenarios[args.scenario]["naive"]
-
-    best_wall = None
-    best_naive_wall = None
-    attempts = None
-    for _ in range(max(1, args.runs)):
-        report, wall = reduce_scenario(args.scenario, incremental=True)
-        attempts = report.match_attempts
-        best_wall = wall if best_wall is None else min(best_wall, wall)
-        _naive_report, naive_wall = reduce_scenario(args.scenario, incremental=False)
-        best_naive_wall = (
-            naive_wall if best_naive_wall is None else min(best_naive_wall, naive_wall)
-        )
+    committed_scenarios = committed.get("scenarios", {})
 
     failed = False
-    if attempts != baseline["match_attempts"]:
-        print(
-            f"FAIL {args.scenario}: match_attempts {attempts} != committed "
-            f"{baseline['match_attempts']} (deterministic counter changed)"
-        )
-        failed = True
-    # calibrate the committed budget to this machine: the naive engine run
-    # here over the committed naive wall measures how fast this hardware is
-    calibration = naive_calibration(best_naive_wall, naive_baseline["wall_seconds"])
-    budget = baseline["wall_seconds"] * calibration * (1.0 + tolerance) + max(0.0, args.slack)
-    if best_wall > budget:
-        print(
-            f"FAIL {args.scenario}: wall {best_wall:.3f}s exceeds the committed "
-            f"{baseline['wall_seconds']}s by more than {tolerance:.0%} after "
-            f"calibration x{calibration:.2f} + {args.slack}s slack "
-            f"(budget {budget:.3f}s)"
-        )
-        failed = True
-    if not failed:
-        print(
-            f"OK {args.scenario}: wall {best_wall:.3f}s (committed "
-            f"{baseline['wall_seconds']}s, calibration x{calibration:.2f}, "
-            f"budget {budget:.3f}s), match_attempts {attempts} (unchanged)"
-        )
+    for scenario in scenarios:
+        if scenario not in committed_scenarios:
+            print(f"scenario {scenario!r} not in committed {_ARTIFACT.name}")
+            failed = True
+            continue
+        if not check_scenario(
+            scenario, committed_scenarios[scenario], args.runs, tolerance, args.slack
+        ):
+            failed = True
     return 1 if failed else 0
 
 

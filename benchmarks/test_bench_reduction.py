@@ -12,7 +12,8 @@ Three claims are checked and published as ``BENCH_reduction.json``:
 * **Wall-clock** — the montage-500 centralised reduction completes in
   ≤ 5 s (the PR-4 target; PR 2 measured 15.18 s).
 
-Scenario matrix (the paper's two workflow shapes, at several scales):
+Scenario matrix (the paper's two workflow shapes at several scales, plus two
+families from the scenario catalog, :mod:`repro.scenarios`):
 
 * ``montage-100-centralized`` — the scaled-down scenario the CI regression
   gate re-runs on every PR (see ``benchmarks/check_regression.py``);
@@ -20,7 +21,15 @@ Scenario matrix (the paper's two workflow shapes, at several scales):
 * ``montage-1000-centralized`` — 2× the paper scale (run with
   ``GINFLOW_FULL=1``; skipped in the CI quick profile);
 * ``diamond-16x8-full-centralized`` — the fully-connected diamond of
-  Fig. 11, the densest dependency structure ``gw_pass`` has to search.
+  Fig. 11, the densest dependency structure ``gw_pass`` has to search;
+* ``cybershake-200-centralized`` — two-level wide fan-out/fan-in (per-site
+  seismogram synthesis), the widest fan-in pressure after the diamond;
+* ``sipht-200-centralized`` — many independent per-group fan-ins merging,
+  the most fragmented solution structure (one agent-region per group).
+
+The two catalog scenarios are regression-gated by ``check_regression.py``
+exactly like montage-100, so a data-layer change that only bites deep
+fan-ins or fragmented regions can no longer sail through CI.
 
 The JSON artifact gives the perf trajectory a baseline: CI uploads it on
 every build and ``check_regression.py`` fails a PR whose wall-clock regresses
@@ -37,6 +46,7 @@ from pathlib import Path
 from repro.hocl import ReductionEngine, default_registry
 from repro.hoclflow import encode_workflow
 from repro.hoclflow.generic_rules import register_workflow_externals
+from repro.scenarios import build_scenario
 from repro.services import InvocationContext, ServiceRegistry
 from repro.workflow import diamond_workflow
 from repro.workflow.montage import montage_workflow
@@ -50,6 +60,8 @@ _SCENARIOS = {
     "montage-500-centralized": lambda: montage_workflow(projections=490, duration_scale=0.01),
     "montage-1000-centralized": lambda: montage_workflow(projections=990, duration_scale=0.01),
     "diamond-16x8-full-centralized": lambda: diamond_workflow(16, 8, connectivity="full"),
+    "cybershake-200-centralized": lambda: build_scenario("cybershake:size=200,seed=1"),
+    "sipht-200-centralized": lambda: build_scenario("sipht:size=200,seed=1"),
 }
 
 #: Scenarios too slow for the CI quick profile (run with GINFLOW_FULL=1).

@@ -20,6 +20,10 @@ stack described in the paper:
 * :mod:`repro.runtime` — the GinFlow facade, the run configuration and the
   pluggable backend registry (runtimes, executors, brokers, cluster presets
   all resolve by name through :mod:`repro.runtime.backends`),
+* :mod:`repro.scenarios` — a registry of parameterized, seed-deterministic
+  scientific-workflow generators (Epigenomics/CyberShake/Inspiral/SIPHT-like
+  shapes plus synthetic stress families), wired into the CLI, the sweeps and
+  the benchmark matrix,
 * :mod:`repro.experiments` — the first-class Experiment/Sweep API
   (:class:`ParameterGrid`, :class:`Experiment`, :class:`SweepReport`),
 * :mod:`repro.bench` — drivers reproducing every figure of the evaluation,
@@ -80,6 +84,11 @@ _FACADE = {
     "available_executors": ("repro.runtime.backends", "available_executors"),
     "available_brokers": ("repro.runtime.backends", "available_brokers"),
     "available_clusters": ("repro.runtime.backends", "available_clusters"),
+    "Scenario": ("repro.scenarios", "Scenario"),
+    "register_scenario": ("repro.scenarios", "register_scenario"),
+    "available_scenarios": ("repro.scenarios", "available_scenarios"),
+    "get_scenario": ("repro.scenarios", "get_scenario"),
+    "build_scenario": ("repro.scenarios", "build_scenario"),
     "BrokerProfile": ("repro.messaging.broker", "BrokerProfile"),
     "FailureModel": ("repro.services.faults", "FailureModel"),
     "ServiceRegistry": ("repro.services.service", "ServiceRegistry"),

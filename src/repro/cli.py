@@ -3,8 +3,11 @@
 Usage::
 
     ginflow run workflow.json --mode simulated --executor mesos --broker kafka --nodes 10
-    ginflow run workflow.json --mode asyncio
+    ginflow run --scenario cybershake:size=500,seed=3 --mode asyncio
     ginflow sweep workflow.json --param nodes=5,10,15 --param broker=activemq,kafka --repeats 3
+    ginflow sweep --scenario epigenomics --param size=50,200 --repeats 3
+    ginflow scenarios
+    ginflow scenarios cybershake
     ginflow backends
     ginflow validate workflow.json
     ginflow show-hocl workflow.json
@@ -37,10 +40,33 @@ from repro.runtime.backends import (
     ensure_builtin_backends,
     registry,
 )
+from repro.scenarios import available_scenarios, build_scenario, get_scenario
 from repro.services import FailureModel
 from repro.workflow import workflow_from_json
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_workflow_source(parser: argparse.ArgumentParser) -> None:
+    """The two workflow sources of ``run``/``sweep``: a JSON file or a scenario spec."""
+    parser.add_argument("workflow", nargs="?", help="path to the JSON workflow definition")
+    parser.add_argument(
+        "--scenario",
+        metavar="NAME[:K=V,...]",
+        help="generate the workflow from a registered scenario instead of a JSON file, "
+        "e.g. --scenario cybershake:size=500,seed=3 (see 'ginflow scenarios')",
+    )
+
+
+def _resolve_workflow_source(args: argparse.Namespace):
+    """The workflow named by ``args`` (exactly one of file path / --scenario)."""
+    if args.workflow and args.scenario:
+        raise ValueError("pass either a workflow file or --scenario, not both")
+    if args.scenario:
+        return build_scenario(args.scenario)
+    if args.workflow:
+        return workflow_from_json(args.workflow)
+    raise ValueError("a workflow source is required: a JSON file path or --scenario NAME[:K=V,...]")
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -62,15 +88,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = subparsers.add_parser("run", help="execute a JSON workflow")
-    run_parser.add_argument("workflow", help="path to the JSON workflow definition")
+    run_parser = subparsers.add_parser("run", help="execute a JSON workflow or a registered scenario")
+    _add_workflow_source(run_parser)
     _add_config_arguments(run_parser)
     run_parser.add_argument("--failure-probability", type=float, default=0.0, help="failure injection probability p")
     run_parser.add_argument("--failure-delay", type=float, default=0.0, help="failure injection delay T (seconds)")
     run_parser.add_argument("--json", action="store_true", help="print the report summary as JSON")
 
     sweep_parser = subparsers.add_parser("sweep", help="execute a workflow over a parameter grid")
-    sweep_parser.add_argument("workflow", help="path to the JSON workflow definition")
+    _add_workflow_source(sweep_parser)
     _add_config_arguments(sweep_parser)
     sweep_parser.add_argument(
         "--param",
@@ -85,12 +111,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument("--json-out", metavar="PATH", help="write rows + aggregates as JSON")
     sweep_parser.add_argument("--json", action="store_true", help="print the sweep report as JSON")
 
+    scenarios_parser = subparsers.add_parser(
+        "scenarios", help="list the registered workflow scenarios (or describe one)"
+    )
+    scenarios_parser.add_argument("name", nargs="?", help="describe one scenario in detail")
+    scenarios_parser.add_argument("--json", action="store_true", help="print the listing as JSON")
+    scenarios_parser.add_argument(
+        "--names", action="store_true", help="print the bare scenario names, one per line"
+    )
+
     backends_parser = subparsers.add_parser("backends", help="list the registered backends")
     backends_parser.add_argument("--kind", choices=KINDS, help="restrict to one backend kind")
     backends_parser.add_argument("--json", action="store_true", help="print the listing as JSON")
 
-    validate_parser = subparsers.add_parser("validate", help="validate a JSON workflow definition")
-    validate_parser.add_argument("workflow", help="path to the JSON workflow definition")
+    validate_parser = subparsers.add_parser(
+        "validate", help="validate a workflow definition and its JSON round-trip"
+    )
+    _add_workflow_source(validate_parser)
 
     hocl_parser = subparsers.add_parser("show-hocl", help="print the HOCL encoding of a workflow")
     hocl_parser.add_argument("workflow", help="path to the JSON workflow definition")
@@ -111,14 +148,14 @@ def _base_config(args: argparse.Namespace, failures: FailureModel | None = None)
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    workflow = workflow_from_json(args.workflow)
+    workflow = _resolve_workflow_source(args)
     failures = FailureModel(probability=args.failure_probability, delay=args.failure_delay)
     report = GinFlow(_base_config(args, failures)).run(workflow)
     if args.json:
         print(json.dumps(report.summary(), indent=2))
     else:
         print(report.format_summary())
-    return 0 if report.succeeded else 1
+    return 0 if report.succeeded and not report.timed_out else 1
 
 
 def _parse_param_value(text: str) -> Any:
@@ -149,12 +186,28 @@ def _parse_params(specs: Sequence[str]) -> dict[str, list[Any]]:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    from functools import partial
+
     from repro.experiments import ParameterGrid
 
     grid_spec = _parse_params(args.param)
     if not grid_spec:
         raise ValueError("sweep needs at least one --param NAME=V1,V2,...")
-    workflow = workflow_from_json(args.workflow)
+    if args.workflow and args.scenario:
+        raise ValueError("pass either a workflow file or --scenario, not both")
+    if args.scenario:
+        # a factory, so swept parameters (size, edge_probability, ...) reach
+        # the scenario generator as keyword overrides
+        workflow: Any = partial(build_scenario, args.scenario)
+    elif args.workflow:
+        workflow = workflow_from_json(args.workflow)
+    elif "scenario" in grid_spec:
+        workflow = None  # the swept 'scenario' axis provides the workflows
+    else:
+        raise ValueError(
+            "a workflow source is required: a JSON file path, --scenario, "
+            "or a swept --param scenario=NAME1,NAME2"
+        )
     report = GinFlow(_base_config(args)).sweep(
         workflow,
         ParameterGrid(grid_spec),
@@ -170,7 +223,56 @@ def _command_sweep(args: argparse.Namespace) -> int:
         print(report.to_json())
     else:
         print(report.format_table())
-    return 0 if report.succeeded else 1
+    return 0 if report.succeeded and not report.timed_out else 1
+
+
+def _scenario_payload(name: str) -> dict[str, Any]:
+    scenario = get_scenario(name)
+    return {
+        "name": scenario.name,
+        "description": scenario.description,
+        "structure": scenario.structure,
+        "parameters": scenario.parameters(),
+        "cost_profile": {stage: list(bounds) for stage, bounds in scenario.cost_profile.items()},
+        "failure_profile": dict(scenario.failure_profile),
+        "tags": list(scenario.tags),
+    }
+
+
+def _command_scenarios(args: argparse.Namespace) -> int:
+    names = (args.name,) if args.name else available_scenarios()
+    if args.names:
+        for name in names:
+            print(name)
+        return 0
+    if args.json:
+        print(json.dumps([_scenario_payload(name) for name in names], indent=2))
+        return 0
+    if args.name:
+        scenario = get_scenario(args.name)
+        print(f"{scenario.name} — {scenario.description}")
+        print(f"  structure : {scenario.structure}")
+        if scenario.tags:
+            print(f"  tags      : {', '.join(scenario.tags)}")
+        print("  parameters:")
+        for parameter, default in scenario.parameters().items():
+            print(f"    {parameter:<20} default={default!r}")
+        if scenario.cost_profile:
+            print("  cost profile (stage -> duration range, seconds):")
+            for stage, (low, high) in scenario.cost_profile.items():
+                print(f"    {stage:<20} {low:g} .. {high:g}")
+        if scenario.failure_profile:
+            profile = ", ".join(f"{key}={value}" for key, value in scenario.failure_profile.items())
+            print(f"  failure profile: {profile}")
+        print(f"  example   : ginflow run --scenario {scenario.name}:size=100,seed=1")
+        return 0
+    print(f"scenarios ({len(names)}):")
+    for name in names:
+        scenario = get_scenario(name)
+        tasks = len(scenario.build())
+        print(f"  {name:<16} {tasks:>4} tasks at size={scenario.parameters().get('size')}  {scenario.description}")
+    print("run 'ginflow scenarios NAME' for parameters and cost profiles")
+    return 0
 
 
 def _command_backends(args: argparse.Namespace) -> int:
@@ -207,8 +309,16 @@ def _command_backends(args: argparse.Namespace) -> int:
 
 
 def _command_validate(args: argparse.Namespace) -> int:
-    workflow = workflow_from_json(args.workflow)
+    from repro.workflow import workflow_from_dict, workflow_to_dict
+
+    workflow = _resolve_workflow_source(args)
     workflow.validate()
+    # the JSON format must be a lossless carrier: serialising and parsing
+    # back yields the same document (tasks, inputs, durations, metadata,
+    # adaptations)
+    document = workflow_to_dict(workflow)
+    if workflow_to_dict(workflow_from_dict(document)) != document:
+        raise ValueError(f"workflow {workflow.name!r}: JSON round-trip is not lossless")
     print(
         f"workflow {workflow.name!r}: {len(workflow)} tasks, "
         f"{len(workflow.dependencies())} dependencies, {len(workflow.adaptations)} adaptation(s) — OK"
@@ -226,6 +336,7 @@ def _command_show_hocl(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "run": _command_run,
     "sweep": _command_sweep,
+    "scenarios": _command_scenarios,
     "backends": _command_backends,
     "validate": _command_validate,
     "show-hocl": _command_show_hocl,

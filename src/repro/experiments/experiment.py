@@ -13,7 +13,12 @@ Cell parameters are routed automatically:
   configuration for that cell;
 * ``failure_probability`` / ``failure_delay`` build a
   :class:`~repro.services.FailureModel`;
-* every other key is passed to the workflow factory as a keyword argument.
+* ``scenario`` (when the experiment has no workflow source of its own)
+  names a registered workflow scenario — a bare name or a ``"name:k=v,..."``
+  spec, see :mod:`repro.scenarios` — generating the cell's workflow, so the
+  grid can sweep structurally distinct DAG families;
+* every other key is passed to the workflow factory (or the scenario
+  generator) as a keyword argument.
 
 Each repeat derives its seed as ``base_seed + repeat`` (the cell's ``seed``
 if swept, the configuration's otherwise), so repeated cells are independent
@@ -169,6 +174,7 @@ class Experiment:
         if isinstance(outcome, RunReport):
             measurements = {
                 "succeeded": outcome.succeeded,
+                "timed_out": outcome.timed_out,
                 "makespan": outcome.makespan,
                 "deployment_time": outcome.deployment_time,
                 "execution_time": outcome.execution_time,
@@ -226,6 +232,17 @@ class Experiment:
     def _resolve_workflow(self, workflow_kwargs: dict[str, Any]) -> Workflow | None:
         source = self.workflow
         if source is None:
+            # With no workflow source of its own, a 'scenario' cell key names
+            # a registered scenario spec that generates the cell's workflow
+            # (the remaining keys are generator overrides).  A workflow
+            # factory that wants a parameter called "scenario" keeps it: the
+            # key is only interpreted here when there is nothing to route it
+            # to.
+            if self.runner is None and "scenario" in workflow_kwargs:
+                from repro.scenarios import build_scenario
+
+                spec = workflow_kwargs.pop("scenario")
+                return build_scenario(str(spec), **workflow_kwargs)
             if workflow_kwargs and self.runner is None:
                 raise ValueError(f"no workflow to receive grid parameters {sorted(workflow_kwargs)}")
             return None

@@ -80,6 +80,11 @@ class SweepReport:
         """Whether every run of the sweep succeeded."""
         return all(row.get("succeeded", True) for row in self.rows)
 
+    @property
+    def timed_out(self) -> bool:
+        """Whether any run of the sweep hit its wall-clock timeout."""
+        return any(row.get("timed_out", False) for row in self.rows)
+
     def cells(self, metrics: Iterable[str] = DEFAULT_METRICS) -> list[dict[str, Any]]:
         """Per-cell aggregates: ``<metric>_mean`` / ``<metric>_std`` plus
         ``runs`` and ``success_rate``, in first-seen cell order."""
@@ -98,6 +103,7 @@ class SweepReport:
             cell = {name: group[0].get(name) for name in self.grid_keys}
             cell["runs"] = len(group)
             cell["success_rate"] = mean(1.0 if row.get("succeeded", True) else 0.0 for row in group)
+            cell["timed_out_runs"] = sum(1 for row in group if row.get("timed_out", False))
             for metric in metrics:
                 values = [row[metric] for row in group if isinstance(row.get(metric), (int, float))]
                 # No column at all when the metric never appears in this

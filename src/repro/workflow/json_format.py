@@ -40,18 +40,56 @@ from .errors import JSONFormatError
 __all__ = ["workflow_from_json", "workflow_to_json", "workflow_to_dict", "workflow_from_dict"]
 
 
+def _json_safe(value: Any, context: str) -> Any:
+    """Canonical JSON form of a task input / metadata value.
+
+    ``json.dumps`` silently mutates some values (tuples become lists) and
+    raises deep inside the encoder on others (numpy integers); scenario
+    generators stamp exactly that kind of cost-profile metadata.  Converting
+    *before* serialisation makes the round-trip lossless — the canonical form
+    is what both the file and the parsed workflow carry — and turns the rest
+    into a :class:`JSONFormatError` naming the offending task field.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): _json_safe(item, context) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item, context) for item in value]
+    # numpy arrays (tolist) and scalars (item) without importing numpy here;
+    # tolist first so a 1-element array stays a list instead of collapsing
+    # to item()'s scalar
+    for attribute in ("tolist", "item"):
+        converter = getattr(value, attribute, None)
+        if callable(converter):
+            try:
+                return _json_safe(converter(), context)
+            except (TypeError, ValueError):
+                continue
+    raise JSONFormatError(
+        f"{context}: value {value!r} of type {type(value).__name__} is not JSON-serialisable"
+    )
+
+
 def workflow_to_dict(workflow: Workflow) -> dict[str, Any]:
-    """Serialise a workflow (and its adaptations) into a JSON-compatible dict."""
+    """Serialise a workflow (and its adaptations) into a JSON-compatible dict.
+
+    Inputs and metadata are normalised to their canonical JSON form
+    (tuples/arrays to lists, numpy scalars to Python scalars), so
+    ``workflow_from_dict(workflow_to_dict(w))`` reproduces the document
+    exactly; values with no JSON form raise :class:`JSONFormatError` here
+    instead of deep inside ``json.dumps``.
+    """
     document: dict[str, Any] = {
         "name": workflow.name,
         "tasks": [
             {
                 "name": task.name,
                 "service": task.service,
-                "inputs": list(task.inputs),
-                "duration": task.duration,
+                "inputs": _json_safe(list(task.inputs), f"task {task.name!r} inputs"),
+                "duration": float(task.duration),
                 "depends_on": workflow.predecessors(task.name),
-                "metadata": dict(task.metadata),
+                "metadata": _json_safe(dict(task.metadata), f"task {task.name!r} metadata"),
             }
             for task in workflow
         ],

@@ -221,6 +221,13 @@ class TestSweepReport:
         assert all("makespan_mean" in cell for cell in cells)
         assert all("not_measured_mean" not in cell for cell in cells)
 
+    def test_rows_and_cells_carry_timed_out(self, report):
+        # every run row records whether it hit the wall-clock timeout, and
+        # cells count them (ROADMAP "timeout propagation" item)
+        assert all(row["timed_out"] is False for row in report.rows)
+        assert all(cell["timed_out_runs"] == 0 for cell in report.cells())
+        assert report.timed_out is False
+
 
 class TestSweepCLI:
     @pytest.fixture()
