@@ -24,6 +24,9 @@ stack described in the paper:
   scientific-workflow generators (Epigenomics/CyberShake/Inspiral/SIPHT-like
   shapes plus synthetic stress families), wired into the CLI, the sweeps and
   the benchmark matrix,
+* :mod:`repro.analysis` — a static analyzer for HOCL rules, workflows and
+  scenarios (``ginflow lint``): registered, severity-tagged checks that
+  catch enactment-time hangs before anything runs,
 * :mod:`repro.experiments` — the first-class Experiment/Sweep API
   (:class:`ParameterGrid`, :class:`Experiment`, :class:`SweepReport`),
 * :mod:`repro.bench` — drivers reproducing every figure of the evaluation,
@@ -102,6 +105,14 @@ _FACADE = {
     "montage_workflow": ("repro.workflow.montage", "montage_workflow"),
     "workflow_from_json": ("repro.workflow.json_format", "workflow_from_json"),
     "workflow_to_json": ("repro.workflow.json_format", "workflow_to_json"),
+    "AnalysisReport": ("repro.analysis", "AnalysisReport"),
+    "Finding": ("repro.analysis", "Finding"),
+    "Severity": ("repro.analysis", "Severity"),
+    "register_check": ("repro.analysis", "register_check"),
+    "available_checks": ("repro.analysis", "available_checks"),
+    "analyze_workflow": ("repro.analysis", "analyze_workflow"),
+    "analyze_scenario": ("repro.analysis", "analyze_scenario"),
+    "analyze_all_scenarios": ("repro.analysis", "analyze_all_scenarios"),
 }
 
 __all__ = ["__version__", *sorted(_FACADE)]

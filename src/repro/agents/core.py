@@ -149,7 +149,7 @@ class AgentCore:
         set_task_names(self.solution, kw.SRC, remaining)
         in_field = self.solution.find_tuple(kw.IN)
         if in_field is not None:
-            from repro.hocl import Subsolution, TupleAtom
+            from repro.hocl import Subsolution
 
             body = in_field.elements[1]
             if isinstance(body, Subsolution):

@@ -1,0 +1,101 @@
+"""repro.analysis — a static analyzer for HOCL rules, workflows and scenarios.
+
+The whole system rests on hand-written chemical rules and generated DAGs;
+when one of them is wrong, it usually fails *at enactment time*, often as a
+silent hang.  This package diagnoses that failure class without running a
+reduction: it walks :class:`~repro.hocl.patterns.Pattern` trees,
+introspects :class:`~repro.hocl.rules.Rule` products and conditions,
+cross-checks pattern index keys against the target solution, and holds
+scenario declarations to account against the workflows they generate.
+
+Three check families (see the modules for the catalog):
+
+* rule checks (:mod:`repro.analysis.rule_checks`) — unbound product or
+  condition variables, structurally dead index keys, shadowed rules,
+  duplicate rule names, ``Ref``/``Splice`` arity mismatches;
+* workflow checks (:mod:`repro.analysis.workflow_checks`) — cycles, orphan
+  tasks, unreachable tasks/exits, duplicate task names in the source
+  document, JSON-safety of the round-trip;
+* scenario checks (:mod:`repro.analysis.scenario_checks`) — declared
+  cost/failure-profile consistency and seed determinism.
+
+Checks are registered objects (the same idiom as backends and scenarios);
+:func:`register_check` accepts third-party checks, and the drivers pick
+them up automatically.  Surfaced as ``ginflow lint`` and as a
+pytest-importable API::
+
+    from repro.analysis import analyze_scenario
+
+    assert analyze_scenario("epigenomics").ok()
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .findings import AnalysisReport, Finding, Severity
+from .registry import (
+    CHECK_KINDS,
+    AnalysisCheck,
+    CheckRegistry,
+    available_checks,
+    checks_for,
+    register_check,
+    registry,
+)
+
+__all__ = [
+    "AnalysisCheck",
+    "AnalysisReport",
+    "CHECK_KINDS",
+    "CheckRegistry",
+    "Finding",
+    "Severity",
+    "analyze_all_scenarios",
+    "analyze_document",
+    "analyze_encoding",
+    "analyze_rules",
+    "analyze_scenario",
+    "analyze_workflow",
+    "available_checks",
+    "checks_for",
+    "ensure_builtin_checks",
+    "register_check",
+    "registry",
+]
+
+_builtins_loaded = False
+_builtins_lock = threading.RLock()
+
+
+def ensure_builtin_checks() -> None:
+    """Import the built-in check modules exactly once (idempotent, thread-safe)."""
+    global _builtins_loaded
+    if _builtins_loaded:
+        return
+    with _builtins_lock:
+        if _builtins_loaded:
+            return
+        import importlib
+
+        for module in ("rule_checks", "workflow_checks", "scenario_checks"):
+            importlib.import_module(f"repro.analysis.{module}")
+        _builtins_loaded = True
+
+
+def __getattr__(name: str) -> object:
+    """Lazily expose the drivers (they import hoclflow, which is heavy)."""
+    if name in (
+        "analyze_all_scenarios",
+        "analyze_document",
+        "analyze_encoding",
+        "analyze_rules",
+        "analyze_scenario",
+        "analyze_workflow",
+    ):
+        from . import analyzer
+
+        value = getattr(analyzer, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")

@@ -1,0 +1,185 @@
+"""Finding and report model of the static analyzer.
+
+A *finding* is one diagnosed problem: which check produced it, how severe it
+is, what subject it concerns (a rule, a task, a scenario...) and — because
+the analyzer exists to prevent silent enactment-time hangs — a concrete fix
+hint.  Findings aggregate into an :class:`AnalysisReport`, the value every
+``analyze_*`` driver returns and the payload behind ``ginflow lint``.
+
+Severities form a total order (``info < warning < error``); the CLI's
+``--fail-on`` threshold and the report's :meth:`AnalysisReport.ok` both
+compare against it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Iterator
+
+__all__ = ["Severity", "Finding", "AnalysisReport"]
+
+
+class Severity(str, Enum):
+    """Severity of a finding, ordered ``info < warning < error``."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        """Position in the severity order (higher is worse)."""
+        return _SEVERITY_RANKS[self]
+
+    def at_least(self, threshold: "Severity") -> bool:
+        """Whether this severity reaches ``threshold``."""
+        return self.rank >= threshold.rank
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        """The severity named by ``text`` (case-insensitive)."""
+        try:
+            return cls(text.strip().lower())
+        except ValueError:
+            expected = ", ".join(s.value for s in cls)
+            raise ValueError(f"unknown severity {text!r}; expected one of: {expected}") from None
+
+
+_SEVERITY_RANKS = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem.
+
+    Attributes
+    ----------
+    check:
+        Identifier of the check that produced the finding
+        (``"rule-unbound-product"``).
+    severity:
+        How bad it is; drives the ``--fail-on`` gate.
+    subject:
+        The object concerned: a rule name, a task name, a scenario name.
+    message:
+        One-line statement of the defect.
+    fix_hint:
+        Concrete suggestion for repairing it (may be empty).
+    location:
+        Where the subject lives (``"task 'T1'"``, ``"global solution"``,
+        ``"scenario 'epigenomics'"``); groups the CLI output.
+    """
+
+    check: str
+    severity: Severity
+    subject: str
+    message: str
+    fix_hint: str = ""
+    location: str = ""
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-compatible representation of the finding."""
+        return {
+            "check": self.check,
+            "severity": self.severity.value,
+            "subject": self.subject,
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+            "location": self.location,
+        }
+
+
+@dataclass
+class AnalysisReport:
+    """An ordered collection of findings with severity-aware accessors."""
+
+    findings: list[Finding] = field(default_factory=list)
+
+    def add(self, finding: Finding) -> None:
+        """Append one finding."""
+        self.findings.append(finding)
+
+    def extend(self, findings: Iterable[Finding]) -> None:
+        """Append several findings."""
+        self.findings.extend(findings)
+
+    def merge(self, other: "AnalysisReport") -> "AnalysisReport":
+        """Absorb another report's findings (returns ``self`` for chaining)."""
+        self.findings.extend(other.findings)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.findings)
+
+    def __iter__(self) -> Iterator[Finding]:
+        return iter(self.findings)
+
+    # ------------------------------------------------------------ severity
+    def worst_severity(self) -> Severity | None:
+        """The highest severity present, or ``None`` for an empty report."""
+        if not self.findings:
+            return None
+        return max((finding.severity for finding in self.findings), key=lambda s: s.rank)
+
+    def at_least(self, threshold: Severity) -> list[Finding]:
+        """Findings whose severity reaches ``threshold``."""
+        return [finding for finding in self.findings if finding.severity.at_least(threshold)]
+
+    def ok(self, fail_on: Severity = Severity.ERROR) -> bool:
+        """Whether no finding reaches the ``fail_on`` threshold."""
+        return not self.at_least(fail_on)
+
+    def counts(self) -> dict[str, int]:
+        """Number of findings per severity value."""
+        counts = {severity.value: 0 for severity in Severity}
+        for finding in self.findings:
+            counts[finding.severity.value] += 1
+        return counts
+
+    # ------------------------------------------------------------- queries
+    def by_check(self, check: str) -> list[Finding]:
+        """Findings produced by one check."""
+        return [finding for finding in self.findings if finding.check == check]
+
+    def by_location(self) -> dict[str, list[Finding]]:
+        """Findings grouped by location, preserving first-seen order."""
+        grouped: dict[str, list[Finding]] = {}
+        for finding in self.findings:
+            grouped.setdefault(finding.location, []).append(finding)
+        return grouped
+
+    # -------------------------------------------------------------- output
+    def to_payload(self, fail_on: Severity = Severity.ERROR) -> dict[str, Any]:
+        """JSON-compatible representation of the whole report."""
+        return {
+            "ok": self.ok(fail_on),
+            "fail_on": fail_on.value,
+            "counts": self.counts(),
+            "findings": [finding.to_payload() for finding in self.findings],
+        }
+
+    def to_json(self, fail_on: Severity = Severity.ERROR, indent: int = 2) -> str:
+        """The payload as a JSON string."""
+        return json.dumps(self.to_payload(fail_on), indent=indent)
+
+    def format_text(self) -> str:
+        """Human-readable listing, findings grouped by location."""
+        if not self.findings:
+            return "no findings"
+        lines: list[str] = []
+        for location, findings in self.by_location().items():
+            lines.append(f"{location or 'workflow'}:")
+            for finding in findings:
+                lines.append(
+                    f"  [{finding.severity.value}] {finding.check} @ {finding.subject}: {finding.message}"
+                )
+                if finding.fix_hint:
+                    lines.append(f"          fix: {finding.fix_hint}")
+        counts = self.counts()
+        lines.append(
+            f"{len(self.findings)} finding(s): {counts['error']} error(s), "
+            f"{counts['warning']} warning(s), {counts['info']} info"
+        )
+        return "\n".join(lines)

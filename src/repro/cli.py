@@ -10,6 +10,9 @@ Usage::
     ginflow scenarios cybershake
     ginflow backends
     ginflow validate workflow.json
+    ginflow lint workflow.json
+    ginflow lint --scenario epigenomics --json
+    ginflow lint --all-scenarios --fail-on error
     ginflow show-hocl workflow.json
 
 or, without installing the console script::
@@ -128,6 +131,30 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="validate a workflow definition and its JSON round-trip"
     )
     _add_workflow_source(validate_parser)
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="statically analyze workflows, scenarios and their HOCL rules",
+        description="Run the repro.analysis checks (rule, workflow and scenario "
+        "families) without executing anything; see the README's "
+        "'Static analysis' section for the check catalog.",
+    )
+    _add_workflow_source(lint_parser)
+    lint_parser.add_argument(
+        "--all-scenarios",
+        action="store_true",
+        help="lint every registered scenario at its default parameters",
+    )
+    lint_parser.add_argument(
+        "--fail-on",
+        choices=["warning", "error"],
+        default="error",
+        help="exit non-zero when a finding of at least this severity exists (default: error)",
+    )
+    lint_parser.add_argument("--json", action="store_true", help="print the findings as JSON")
+    lint_parser.add_argument(
+        "--json-out", metavar="PATH", help="also write the JSON findings report to PATH"
+    )
 
     hocl_parser = subparsers.add_parser("show-hocl", help="print the HOCL encoding of a workflow")
     hocl_parser.add_argument("workflow", help="path to the JSON workflow definition")
@@ -309,21 +336,50 @@ def _command_backends(args: argparse.Namespace) -> int:
 
 
 def _command_validate(args: argparse.Namespace) -> int:
-    from repro.workflow import workflow_from_dict, workflow_to_dict
+    from repro.analysis import Severity, analyze_workflow
 
     workflow = _resolve_workflow_source(args)
     workflow.validate()
-    # the JSON format must be a lossless carrier: serialising and parsing
-    # back yields the same document (tasks, inputs, durations, metadata,
-    # adaptations)
-    document = workflow_to_dict(workflow)
-    if workflow_to_dict(workflow_from_dict(document)) != document:
-        raise ValueError(f"workflow {workflow.name!r}: JSON round-trip is not lossless")
+    # Structural and JSON round-trip checks are delegated to the analyzer —
+    # one implementation of cycle/orphan/JSON-safety shared with `ginflow
+    # lint`.  Only error-severity structural findings fail validation (the
+    # analyzer's warnings and rule-level findings belong to `lint`).
+    report = analyze_workflow(workflow)
+    errors = [finding for finding in report if finding.severity is Severity.ERROR]
+    if errors:
+        raise ValueError("; ".join(finding.message for finding in errors))
     print(
         f"workflow {workflow.name!r}: {len(workflow)} tasks, "
         f"{len(workflow.dependencies())} dependencies, {len(workflow.adaptations)} adaptation(s) — OK"
     )
     return 0
+
+
+def _command_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import AnalysisReport, Severity, analyze_all_scenarios, analyze_document, analyze_scenario
+
+    sources = sum(1 for given in (args.workflow, args.scenario, args.all_scenarios) if given)
+    if sources != 1:
+        raise ValueError(
+            "pass exactly one lint target: a workflow JSON path, --scenario NAME[:K=V,...], "
+            "or --all-scenarios"
+        )
+    report: AnalysisReport
+    if args.all_scenarios:
+        report = analyze_all_scenarios()
+    elif args.scenario:
+        report = analyze_scenario(args.scenario)
+    else:
+        report = analyze_document(args.workflow)
+    fail_on = Severity.parse(args.fail_on)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json(fail_on) + "\n")
+    if args.json:
+        print(report.to_json(fail_on))
+    else:
+        print(report.format_text())
+    return 0 if report.ok(fail_on) else 1
 
 
 def _command_show_hocl(args: argparse.Namespace) -> int:
@@ -339,6 +395,7 @@ _COMMANDS = {
     "scenarios": _command_scenarios,
     "backends": _command_backends,
     "validate": _command_validate,
+    "lint": _command_lint,
     "show-hocl": _command_show_hocl,
 }
 

@@ -170,7 +170,7 @@ class Symbol(Atom):
     _interned: dict[str, "Symbol"] = {}
     _INTERN_LIMIT = 65536
 
-    def __new__(cls, name: str):
+    def __new__(cls, name: str) -> "Symbol":
         if cls is Symbol and isinstance(name, str):
             cached = Symbol._interned.get(name)
             if cached is not None:

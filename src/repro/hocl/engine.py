@@ -44,7 +44,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Any, Callable
+from typing import Callable
 
 from .errors import ReductionError
 from .externals import ExternalRegistry, default_registry

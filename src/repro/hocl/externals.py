@@ -19,9 +19,9 @@ user workflows frequently need them when post-processing results.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Callable
 
-from .atoms import Atom, ListAtom, from_atom, to_atom
+from .atoms import Atom, ListAtom, from_atom
 from .errors import ExternalFunctionError
 from .patterns import Bindings
 

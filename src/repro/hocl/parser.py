@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Callable
 
 from .atoms import Atom, FloatAtom, IntAtom, ListAtom, StringAtom, Subsolution, Symbol, TupleAtom
 from .errors import ParseError
@@ -211,7 +211,6 @@ class _Parser:
         return patterns
 
     def _parse_product_list(self) -> list[Any]:
-        stop_names = {"if", "in"}
         products = [self._parse_product()]
         while self._at(","):
             self._next()
@@ -336,7 +335,7 @@ class _Parser:
         raise ParseError(f"unexpected token {token.text!r} in product", token.line, token.column)
 
     # ------------------------------------------------------------- condition
-    def _parse_condition(self):
+    def _parse_condition(self) -> Callable[..., bool]:
         left = self._parse_condition_operand()
         op_token = self._next()
         if op_token.text not in ("<=", ">=", "<", ">", "==", "!="):
@@ -350,7 +349,7 @@ class _Parser:
                 return view.value(value)
             return value
 
-        def condition(view: BindingView, _l=left, _r=right, _op=operator) -> bool:
+        def condition(view: BindingView, _l: Any = left, _r: Any = right, _op: str = operator) -> bool:
             lhs = evaluate(_l, view)
             rhs = evaluate(_r, view)
             if _op == "<=":

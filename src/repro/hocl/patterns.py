@@ -40,9 +40,9 @@ appearing several times must bind structurally equal atoms.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterator
 
-from .atoms import Atom, ListAtom, Subsolution, Symbol, TupleAtom, to_atom
+from .atoms import Atom, Subsolution, Symbol, TupleAtom, to_atom
 from .errors import PatternError
 from .multiset import atom_index_keys
 
@@ -124,6 +124,26 @@ class Pattern:
 
     def variables(self) -> set[str]:
         """Names of all variables (including omegas) referenced by the pattern."""
+        return set()
+
+    def bound_names(self) -> set[str]:
+        """Variable names a successful match of this pattern binds.
+
+        Every variable referenced by a pattern is a binder (HOCL patterns
+        have no free variables), so this equals :meth:`variables`; the
+        method exists as the static-analysis entry point — product and
+        condition variables are checked against this set by
+        :mod:`repro.analysis` without running a reduction.
+        """
+        return self.variables()
+
+    def omega_names(self) -> set[str]:
+        """Subset of :meth:`bound_names` bound to *lists* of atoms (omegas).
+
+        Products must splice these (``Splice``) rather than reference them
+        (``Ref``); :mod:`repro.analysis` uses the distinction for its
+        template-arity check.
+        """
         return set()
 
     def index_key(self) -> Any | None:
@@ -215,6 +235,9 @@ class Omega(Pattern):
         )
 
     def variables(self) -> set[str]:
+        return {self.name}
+
+    def omega_names(self) -> set[str]:
         return {self.name}
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -333,6 +356,14 @@ class TuplePattern(Pattern):
             names |= element.variables()
         if self.rest is not None:
             names |= self.rest.variables()
+        return names
+
+    def omega_names(self) -> set[str]:
+        names: set[str] = set()
+        for element in self.elements:
+            names |= element.omega_names()
+        if self.rest is not None:
+            names |= self.rest.omega_names()
         return names
 
     def index_key(self) -> Any | None:
@@ -464,6 +495,14 @@ class SolutionPattern(Pattern):
             names |= element.variables()
         if self.rest is not None:
             names |= self.rest.variables()
+        return names
+
+    def omega_names(self) -> set[str]:
+        names: set[str] = set()
+        for element in self.elements:
+            names |= element.omega_names()
+        if self.rest is not None:
+            names |= self.rest.omega_names()
         return names
 
     def index_key(self) -> Any | None:

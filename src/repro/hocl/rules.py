@@ -28,8 +28,8 @@ from .atoms import Atom, from_atom
 from .errors import RuleError
 from .matching import Match, find_first_match, find_matches
 from .multiset import Multiset
-from .patterns import Bindings, Pattern, as_pattern
-from .templates import Template, expand_templates
+from .patterns import Bindings, as_pattern
+from .templates import Compute, expand_templates, template_referenced_names
 
 __all__ = ["BindingView", "Rule", "replace", "replace_one", "with_inject"]
 
@@ -204,6 +204,37 @@ class Rule(Atom):
         if self.effect is not None:
             self.effect(BindingView(match.bindings))
 
+    # --------------------------------------------------------- introspection
+    def bound_variables(self) -> set[str]:
+        """Variable names bound by the left-hand side when the rule matches."""
+        names: set[str] = set()
+        for pattern in self.patterns:
+            names |= pattern.bound_names()
+        return names
+
+    def omega_variables(self) -> set[str]:
+        """Left-hand-side variable names bound to *lists* of atoms (omegas)."""
+        names: set[str] = set()
+        for pattern in self.patterns:
+            names |= pattern.omega_names()
+        return names
+
+    def referenced_variables(self) -> set[str]:
+        """Variable names the declared products read when the rule fires.
+
+        :class:`~repro.hocl.templates.Compute` products are opaque and
+        contribute nothing here; check :meth:`has_opaque_products` before
+        treating the result as exhaustive.
+        """
+        names: set[str] = set()
+        for product in self.products:
+            names |= template_referenced_names(product)
+        return names
+
+    def has_opaque_products(self) -> bool:
+        """Whether any product is an unanalysable :class:`Compute` escape hatch."""
+        return any(isinstance(product, Compute) for product in self.products)
+
     # -------------------------------------------------------------- identity
     def copy(self) -> "Rule":
         return self  # rules are immutable; sharing is safe
@@ -212,10 +243,14 @@ class Rule(Atom):
         # Rules compare by identity-or-name: two rules built from the same
         # definition (same name) are interchangeable inside a solution.  This
         # matches the paper's usage where e.g. `gw_setup` denotes *the* setup
-        # rule regardless of the sub-solution holding it.
+        # rule regardless of the sub-solution holding it.  The hash below
+        # uses the same key, so equal rules hash equal — including the
+        # one-shot `with_inject` variants a recovery re-injects.
         if self is other:
             return True
-        return isinstance(other, Rule) and other.name == self.name
+        if not isinstance(other, Rule):
+            return NotImplemented
+        return other.name == self.name
 
     def __hash__(self) -> int:
         return hash(("Rule", self.name))

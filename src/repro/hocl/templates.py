@@ -33,11 +33,14 @@ literal.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from .atoms import Atom, ListAtom, Subsolution, TupleAtom, to_atom
 from .errors import ExternalFunctionError, PatternError
 from .patterns import Bindings
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .externals import ExternalRegistry
 
 __all__ = [
     "Template",
@@ -50,6 +53,7 @@ __all__ = [
     "Compute",
     "expand_template",
     "expand_templates",
+    "template_referenced_names",
 ]
 
 
@@ -61,6 +65,16 @@ class Template:
     def expand(self, bindings: Bindings, externals: "ExternalRegistry | None") -> list[Atom]:
         """Return the atoms this template produces under ``bindings``."""
         raise NotImplementedError
+
+    def referenced_names(self) -> set[str]:
+        """Variable names :meth:`expand` reads from the bindings.
+
+        The static-analysis entry point: :mod:`repro.analysis` compares this
+        set against the pattern's bound names without expanding anything.
+        Opaque templates (:class:`Compute`) return the empty set — they must
+        be treated as unanalysable by callers, not as reference-free.
+        """
+        return set()
 
 
 class Ref(Template):
@@ -80,6 +94,9 @@ class Ref(Template):
                 f"variable {self.name!r} is an omega binding; use Splice({self.name!r})"
             )
         return [to_atom(value)]
+
+    def referenced_names(self) -> set[str]:
+        return {self.name}
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Ref({self.name!r})"
@@ -101,6 +118,9 @@ class Splice(Template):
             return [to_atom(value)]
         return [to_atom(item) for item in value]
 
+    def referenced_names(self) -> set[str]:
+        return {self.name}
+
     def __repr__(self) -> str:  # pragma: no cover
         return f"Splice({self.name!r})"
 
@@ -110,7 +130,7 @@ class TupleTemplate(Template):
 
     __slots__ = ("elements",)
 
-    def __init__(self, *elements: Any):
+    def __init__(self, *elements: Any) -> None:
         self.elements = tuple(elements)
 
     def expand(self, bindings: Bindings, externals: Any = None) -> list[Atom]:
@@ -118,6 +138,9 @@ class TupleTemplate(Template):
         for element in self.elements:
             produced.extend(expand_template(element, bindings, externals))
         return [TupleAtom(produced)]
+
+    def referenced_names(self) -> set[str]:
+        return _referenced_in_all(self.elements)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"TupleTemplate({', '.join(repr(e) for e in self.elements)})"
@@ -128,7 +151,7 @@ class SolutionTemplate(Template):
 
     __slots__ = ("elements",)
 
-    def __init__(self, *elements: Any):
+    def __init__(self, *elements: Any) -> None:
         self.elements = tuple(elements)
 
     def expand(self, bindings: Bindings, externals: Any = None) -> list[Atom]:
@@ -136,6 +159,9 @@ class SolutionTemplate(Template):
         for element in self.elements:
             produced.extend(expand_template(element, bindings, externals))
         return [Subsolution(produced)]
+
+    def referenced_names(self) -> set[str]:
+        return _referenced_in_all(self.elements)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"SolutionTemplate({', '.join(repr(e) for e in self.elements)})"
@@ -146,7 +172,7 @@ class ListTemplate(Template):
 
     __slots__ = ("elements",)
 
-    def __init__(self, *elements: Any):
+    def __init__(self, *elements: Any) -> None:
         self.elements = tuple(elements)
 
     def expand(self, bindings: Bindings, externals: Any = None) -> list[Atom]:
@@ -154,6 +180,9 @@ class ListTemplate(Template):
         for element in self.elements:
             produced.extend(expand_template(element, bindings, externals))
         return [ListAtom(produced)]
+
+    def referenced_names(self) -> set[str]:
+        return _referenced_in_all(self.elements)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"ListTemplate({', '.join(repr(e) for e in self.elements)})"
@@ -184,6 +213,9 @@ class Call(Template):
             args.extend(expand_template(argument, bindings, externals))
         result = externals.invoke(self.function, args, bindings)
         return _coerce_result(result)
+
+    def referenced_names(self) -> set[str]:
+        return _referenced_in_all(self.arguments)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Call({self.function!r}, {', '.join(repr(a) for a in self.arguments)})"
@@ -219,6 +251,20 @@ def _coerce_result(result: Any) -> list[Atom]:
     if isinstance(result, (list, tuple)) and all(isinstance(item, Atom) for item in result):
         return [item for item in result]
     return [to_atom(result)]
+
+
+def template_referenced_names(template: Any) -> set[str]:
+    """Variable names a template (or literal product value) reads when expanded."""
+    if isinstance(template, Template):
+        return template.referenced_names()
+    return set()
+
+
+def _referenced_in_all(templates: Sequence[Any]) -> set[str]:
+    names: set[str] = set()
+    for template in templates:
+        names |= template_referenced_names(template)
+    return names
 
 
 def expand_template(template: Any, bindings: Bindings, externals: Any = None) -> list[Atom]:

@@ -23,7 +23,7 @@ The paper restricts which replacements are legal (Fig. 9):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING
 
 import networkx as nx
 

@@ -171,8 +171,7 @@ class TestRuleConstruction:
         assert Rule("a", [Var("x")], []) != Rule("b", [Var("x")], [])
 
     def test_condition_type_error_means_no_match(self):
-        rule = max_rule()
-        solution = Multiset([1, Symbol("A"), 2])
+        solution = Multiset([1, Symbol("A"), 2, max_rule()])
         # the symbol cannot satisfy the arithmetic condition; no crash
         report = reduce_solution(solution)
         assert report.inert

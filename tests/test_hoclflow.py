@@ -1,7 +1,5 @@
 """Unit tests for the HOCLflow layer: fields, generic rules, adaptation, translator."""
 
-import pytest
-
 from repro.hocl import (
     IntAtom,
     Multiset,
@@ -134,7 +132,7 @@ class TestGenericRules:
     def test_gw_call_failure_yields_error_marker(self):
         solution = task_solution([], [], "svc", inputs=["x"])
         solution.add_all([make_gw_setup(), make_gw_call("T7")])
-        registry, calls = self._externals({"fail": True})
+        registry, _ = self._externals({"fail": True})
         ReductionEngine(externals=registry).reduce(solution)
         assert has_error(solution)
 
