@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Collate per-commit reduction benchmark artifacts into a trend table.
+
+The CI benchmarks job stamps every build's numbers as
+``BENCH_reduction-<sha>.json`` (the committed ``BENCH_reduction.json``
+schema, one SHA-named copy per build).  The regression gate only catches
+jumps above its tolerance; slow drift *inside* the tolerance compounds
+silently across PRs.  This script folds any number of downloaded artifacts
+into one per-scenario trend table so that drift becomes visible:
+
+* one row per (commit, scenario): reactions, match_attempts, incremental /
+  naive wall seconds, wall-clock speedup;
+* a ``drift`` column: the incremental wall relative to the *first* (oldest)
+  collated commit of that scenario — the number the 20%-per-PR gate cannot
+  see;
+* commits are ordered by artifact modification time (artifact downloads
+  preserve upload order); ``--order name`` sorts by SHA instead.
+
+Usage::
+
+    python benchmarks/collate_trend.py artifacts/           # a directory
+    python benchmarks/collate_trend.py BENCH_reduction-*.json
+    python benchmarks/collate_trend.py artifacts/ --scenario montage-100-centralized
+    python benchmarks/collate_trend.py artifacts/ --csv trend.csv --json-out trend.json
+
+Exit status: 0 when at least one artifact was collated, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Any, Iterator
+
+#: SHA-stamped artifact names produced by CI (``BENCH_reduction-<sha>.json``);
+#: the unstamped committed baseline is labelled ``committed``.
+_STAMPED = re.compile(r"^BENCH_reduction-(?P<sha>[0-9a-fA-F]{7,40})\.json$")
+
+#: Columns of the trend table, in display order.
+_COLUMNS = (
+    "commit",
+    "scenario",
+    "reactions",
+    "match_attempts",
+    "wall_seconds",
+    "naive_wall_seconds",
+    "speedup",
+    "drift",
+)
+
+
+def _label(path: Path) -> str:
+    """Short commit label for one artifact file."""
+    match = _STAMPED.match(path.name)
+    if match:
+        return match.group("sha")[:12]
+    return "committed" if path.name == "BENCH_reduction.json" else path.stem
+
+
+def discover(paths: list[Path]) -> list[Path]:
+    """Every artifact file under ``paths`` (files or directories)."""
+    found: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            found.extend(sorted(path.rglob("BENCH_reduction*.json")))
+        elif path.is_file():
+            found.append(path)
+        else:
+            print(f"warning: {path} does not exist; skipping", file=sys.stderr)
+    # de-duplicate while keeping order (a dir glob can re-match an explicit file)
+    unique: dict[Path, None] = {}
+    for path in found:
+        unique.setdefault(path.resolve(), None)
+    return list(unique)
+
+
+def load_rows(path: Path) -> Iterator[dict[str, Any]]:
+    """The per-scenario rows of one artifact (empty on unreadable files)."""
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"warning: cannot read {path}: {exc}; skipping", file=sys.stderr)
+        return
+    if payload.get("benchmark") != "hocl-reduction":
+        print(f"warning: {path} is not a reduction artifact; skipping", file=sys.stderr)
+        return
+    for scenario, row in sorted(payload.get("scenarios", {}).items()):
+        incremental = row.get("incremental", {})
+        naive = row.get("naive", {})
+        speedup = row.get("speedup", {})
+        yield {
+            "commit": _label(path),
+            "scenario": scenario,
+            "reactions": row.get("reactions"),
+            "match_attempts": incremental.get("match_attempts"),
+            "wall_seconds": incremental.get("wall_seconds"),
+            "naive_wall_seconds": naive.get("wall_seconds"),
+            "speedup": speedup.get("wall_clock"),
+        }
+
+
+def collate(files: list[Path], scenarios: list[str] | None) -> list[dict[str, Any]]:
+    """All rows across ``files``, with the cross-commit drift column filled."""
+    rows: list[dict[str, Any]] = []
+    for path in files:
+        for row in load_rows(path):
+            if scenarios and row["scenario"] not in scenarios:
+                continue
+            rows.append(row)
+    first_wall: dict[str, float] = {}
+    for row in rows:
+        wall = row["wall_seconds"]
+        if wall is None:
+            row["drift"] = None
+            continue
+        base = first_wall.setdefault(row["scenario"], wall)
+        row["drift"] = round((wall - base) / base, 3) if base else None
+    return rows
+
+
+def format_table(rows: list[dict[str, Any]]) -> str:
+    """Fixed-width text table of the trend rows."""
+
+    def cell(row: dict[str, Any], column: str) -> str:
+        value = row.get(column)
+        if value is None:
+            return "-"
+        if column == "drift":
+            return f"{value:+.1%}"
+        return str(value)
+
+    table = [list(_COLUMNS)] + [[cell(row, column) for column in _COLUMNS] for row in rows]
+    widths = [max(len(line[index]) for line in table) for index in range(len(_COLUMNS))]
+    lines = ["  ".join(value.ljust(width) for value, width in zip(line, widths)).rstrip() for line in table]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument(
+        "paths",
+        nargs="+",
+        type=Path,
+        help="artifact files, or directories searched recursively for BENCH_reduction*.json",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        help="only collate this scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--order",
+        choices=["mtime", "name"],
+        default="mtime",
+        help="commit ordering: artifact modification time (default) or file name",
+    )
+    parser.add_argument("--csv", metavar="PATH", help="also write the rows as CSV")
+    parser.add_argument("--json-out", metavar="PATH", help="also write the rows as JSON")
+    args = parser.parse_args(argv)
+
+    files = discover(args.paths)
+    if args.order == "mtime":
+        files.sort(key=lambda path: path.stat().st_mtime)
+    else:
+        files.sort(key=lambda path: path.name)
+    rows = collate(files, args.scenario)
+    if not rows:
+        print("no artifact rows collated", file=sys.stderr)
+        return 1
+
+    print(format_table(rows))
+    if args.csv:
+        with open(args.csv, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(_COLUMNS))
+            writer.writeheader()
+            writer.writerows(rows)
+        print(f"wrote {args.csv}", file=sys.stderr)
+    if args.json_out:
+        Path(args.json_out).write_text(json.dumps({"trend": rows}, indent=2) + "\n")
+        print(f"wrote {args.json_out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

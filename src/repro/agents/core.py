@@ -60,7 +60,11 @@ class AgentCore:
         self.name = encoding.name
         self._pending: list[Action] = []
         self.solution: Multiset = encoding.initial_solution(include_rules=False)
-        self.solution.add_all(build_local_rules(encoding, self._pending.append))
+        local_rules = build_local_rules(encoding, self._pending.append)
+        self.solution.add_all(local_rules)
+        #: names of every rule registered in this agent's local solution;
+        #: the dynamic analyzer diffs this against `rule_fires` for coverage
+        self.rule_names: tuple[str, ...] = tuple(rule.name for rule in local_rules)
         externals = default_registry()
         # Only the pure externals are needed locally: the decentralised
         # gw_call never calls `invoke` (the runtime owns the invocation).
@@ -83,6 +87,8 @@ class AgentCore:
         #: wall-clock seconds per reduction phase (match/rewrite/index),
         #: aggregated across every stimulus this core handled
         self.reduction_timings: dict[str, float] = {}
+        #: firings per rule name, aggregated across every stimulus
+        self.rule_fires: dict[str, int] = {}
 
     # ----------------------------------------------------------------- state
     def pending_sources(self) -> list[str]:
@@ -201,6 +207,8 @@ class AgentCore:
         self.reduction_units += report.reduction_units(len(self.solution))
         for phase, seconds in report.timings.items():
             self.reduction_timings[phase] = self.reduction_timings.get(phase, 0.0) + seconds
+        for rule_name, fires in report.rule_fires.items():
+            self.rule_fires[rule_name] = self.rule_fires.get(rule_name, 0) + fires
         # NOTE: the rules' effect hooks hold a reference to self._pending, so
         # the list must be drained in place (never rebound).
         actions = list(self._pending)

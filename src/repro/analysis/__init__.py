@@ -1,14 +1,16 @@
-"""repro.analysis — a static analyzer for HOCL rules, workflows and scenarios.
+"""repro.analysis — static and dynamic analysis for GinFlow.
 
 The whole system rests on hand-written chemical rules and generated DAGs;
 when one of them is wrong, it usually fails *at enactment time*, often as a
-silent hang.  This package diagnoses that failure class without running a
-reduction: it walks :class:`~repro.hocl.patterns.Pattern` trees,
-introspects :class:`~repro.hocl.rules.Rule` products and conditions,
-cross-checks pattern index keys against the target solution, and holds
-scenario declarations to account against the workflows they generate.
+silent hang.  This package diagnoses that failure class from both sides:
+statically (walking :class:`~repro.hocl.patterns.Pattern` trees,
+introspecting :class:`~repro.hocl.rules.Rule` products and conditions,
+cross-checking pattern index keys against the target solution) and
+dynamically (holding the artifacts a run produces — fire counters, message
+accounting, timelines, adaptation plans — to the invariants the enactment
+protocol promises).
 
-Three check families (see the modules for the catalog):
+Six check families (see the modules for the catalog):
 
 * rule checks (:mod:`repro.analysis.rule_checks`) — unbound product or
   condition variables, structurally dead index keys, shadowed rules,
@@ -17,16 +19,26 @@ Three check families (see the modules for the catalog):
   tasks, unreachable tasks/exits, duplicate task names in the source
   document, JSON-safety of the round-trip;
 * scenario checks (:mod:`repro.analysis.scenario_checks`) — declared
-  cost/failure-profile consistency and seed determinism.
+  cost/failure-profile consistency and seed determinism;
+* trace checks (:mod:`repro.analysis.trace_checks`) — rules registered but
+  never fired across a run or sweep, fire-counter/history/reactions
+  accounting, inertness;
+* run checks (:mod:`repro.analysis.trace_checks`) — published vs delivered
+  message accounting, per-task attempt/failure bookkeeping, exit-task
+  terminal states, STATUS timeline ordering;
+* plan checks (:mod:`repro.analysis.plan_checks`) — ADAPT-marker
+  reachability per adaptation plan, trigger/task existence, live vs
+  log-replay state parity.
 
 Checks are registered objects (the same idiom as backends and scenarios);
 :func:`register_check` accepts third-party checks, and the drivers pick
-them up automatically.  Surfaced as ``ginflow lint`` and as a
-pytest-importable API::
+them up automatically.  Surfaced as ``ginflow lint`` (static), ``ginflow
+audit`` (dynamic) and as a pytest-importable API::
 
-    from repro.analysis import analyze_scenario
+    from repro.analysis import analyze_scenario, audit_scenario
 
     assert analyze_scenario("epigenomics").ok()
+    assert audit_scenario("epigenomics:size=20").ok()
 """
 
 from __future__ import annotations
@@ -57,6 +69,12 @@ __all__ = [
     "analyze_rules",
     "analyze_scenario",
     "analyze_workflow",
+    "audit_all_scenarios",
+    "audit_plans",
+    "audit_reduction",
+    "audit_run",
+    "audit_scenario",
+    "audit_workflow",
     "available_checks",
     "checks_for",
     "ensure_builtin_checks",
@@ -78,24 +96,43 @@ def ensure_builtin_checks() -> None:
             return
         import importlib
 
-        for module in ("rule_checks", "workflow_checks", "scenario_checks"):
+        for module in ("rule_checks", "workflow_checks", "scenario_checks", "trace_checks", "plan_checks"):
             importlib.import_module(f"repro.analysis.{module}")
         _builtins_loaded = True
 
 
+_ANALYZER_DRIVERS = (
+    "analyze_all_scenarios",
+    "analyze_document",
+    "analyze_encoding",
+    "analyze_rules",
+    "analyze_scenario",
+    "analyze_workflow",
+)
+
+_AUDIT_DRIVERS = (
+    "audit_all_scenarios",
+    "audit_plans",
+    "audit_reduction",
+    "audit_run",
+    "audit_scenario",
+    "audit_workflow",
+    "enactment_rules",
+)
+
+
 def __getattr__(name: str) -> object:
-    """Lazily expose the drivers (they import hoclflow, which is heavy)."""
-    if name in (
-        "analyze_all_scenarios",
-        "analyze_document",
-        "analyze_encoding",
-        "analyze_rules",
-        "analyze_scenario",
-        "analyze_workflow",
-    ):
+    """Lazily expose the drivers (they import hoclflow/runtime, which are heavy)."""
+    if name in _ANALYZER_DRIVERS:
         from . import analyzer
 
         value = getattr(analyzer, name)
+        globals()[name] = value
+        return value
+    if name in _AUDIT_DRIVERS:
+        from . import trace
+
+        value = getattr(trace, name)
         globals()[name] = value
         return value
     raise AttributeError(f"module 'repro.analysis' has no attribute {name!r}")

@@ -32,8 +32,13 @@ Registering a custom check::
 A check function receives the context object of its kind (``"rule"`` →
 :class:`~repro.analysis.rule_checks.RuleScope`, ``"workflow"`` →
 :class:`~repro.analysis.workflow_checks.WorkflowContext`, ``"scenario"`` →
-:class:`~repro.analysis.scenario_checks.ScenarioContext`) and returns an
-iterable of :class:`~repro.analysis.findings.Finding`.
+:class:`~repro.analysis.scenario_checks.ScenarioContext`, ``"trace"`` →
+:class:`~repro.analysis.trace_checks.TraceScope`, ``"run"`` →
+:class:`~repro.analysis.trace_checks.RunScope`, ``"plan"`` →
+:class:`~repro.analysis.plan_checks.PlanScope`) and returns an iterable of
+:class:`~repro.analysis.findings.Finding`.  The first three kinds are
+static (``ginflow lint``); the last three are dynamic, consuming run
+artifacts (``ginflow audit``).
 """
 
 from __future__ import annotations
@@ -54,8 +59,10 @@ __all__ = [
     "checks_for",
 ]
 
-#: The context kinds a check can attach to.
-CHECK_KINDS = ("rule", "workflow", "scenario")
+#: The context kinds a check can attach to.  ``rule``/``workflow``/``scenario``
+#: are the static kinds (``ginflow lint``); ``trace``/``run``/``plan`` are the
+#: dynamic kinds consuming run artifacts (``ginflow audit``).
+CHECK_KINDS = ("rule", "workflow", "scenario", "trace", "run", "plan")
 
 #: A check: context object in, findings out.
 CheckFunction = Callable[[Any], Iterable[Finding]]
@@ -71,8 +78,7 @@ class AnalysisCheck:
         Stable identifier (``"rule-unbound-product"``), also stamped on every
         finding the check produces.
     kind:
-        Which context the check inspects: ``"rule"``, ``"workflow"`` or
-        ``"scenario"``.
+        Which context the check inspects — one of :data:`CHECK_KINDS`.
     severity:
         Default severity of the findings (informational; checks may emit
         individual findings at other severities).

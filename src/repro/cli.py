@@ -13,6 +13,8 @@ Usage::
     ginflow lint workflow.json
     ginflow lint --scenario epigenomics --json
     ginflow lint --all-scenarios --fail-on error
+    ginflow audit --scenario forkjoin:size=20 --repeats 3
+    ginflow audit --all-scenarios --mode threaded
     ginflow show-hocl workflow.json
 
 or, without installing the console script::
@@ -153,6 +155,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint_parser.add_argument("--json", action="store_true", help="print the findings as JSON")
     lint_parser.add_argument(
+        "--json-out", metavar="PATH", help="also write the JSON findings report to PATH"
+    )
+
+    audit_parser = subparsers.add_parser(
+        "audit",
+        help="dynamically analyze runs: rule coverage, enactment invariants, adaptation plans",
+        description="Enact the workflow (or scenario) and run the repro.analysis "
+        "dynamic checks (trace, run and plan families) on the artifacts the "
+        "run produces; see the README's 'Dynamic analysis' section for the "
+        "check catalog.",
+    )
+    _add_workflow_source(audit_parser)
+    audit_parser.add_argument(
+        "--all-scenarios",
+        action="store_true",
+        help="audit every registered scenario at a small size (size=20)",
+    )
+    audit_parser.add_argument("--mode", default="simulated", choices=available_runtimes())
+    audit_parser.add_argument("--nodes", type=int, default=5, help="number of cluster nodes")
+    audit_parser.add_argument("--seed", type=int, default=1, help="root random seed")
+    audit_parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="runs per workflow (seeds seed..seed+repeats-1); rule coverage merges all runs",
+    )
+    audit_parser.add_argument(
+        "--fail-on",
+        choices=["warning", "error"],
+        default="error",
+        help="exit non-zero when a finding of at least this severity exists (default: error)",
+    )
+    audit_parser.add_argument("--json", action="store_true", help="print the findings as JSON")
+    audit_parser.add_argument(
         "--json-out", metavar="PATH", help="also write the JSON findings report to PATH"
     )
 
@@ -382,6 +416,49 @@ def _command_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok(fail_on) else 1
 
 
+def _command_audit(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        AnalysisReport,
+        Severity,
+        audit_all_scenarios,
+        audit_scenario,
+        audit_workflow,
+    )
+
+    sources = sum(1 for given in (args.workflow, args.scenario, args.all_scenarios) if given)
+    if sources != 1:
+        raise ValueError(
+            "pass exactly one audit target: a workflow JSON path, --scenario NAME[:K=V,...], "
+            "or --all-scenarios"
+        )
+    report: AnalysisReport
+    if args.all_scenarios:
+        report = audit_all_scenarios(
+            mode=args.mode, nodes=args.nodes, seed=args.seed, repeats=args.repeats
+        )
+    elif args.scenario:
+        report = audit_scenario(
+            args.scenario, mode=args.mode, nodes=args.nodes, seed=args.seed, repeats=args.repeats
+        )
+    else:
+        report = audit_workflow(
+            workflow_from_json(args.workflow),
+            mode=args.mode,
+            nodes=args.nodes,
+            seed=args.seed,
+            repeats=args.repeats,
+        )
+    fail_on = Severity.parse(args.fail_on)
+    if args.json_out:
+        with open(args.json_out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json(fail_on) + "\n")
+    if args.json:
+        print(report.to_json(fail_on))
+    else:
+        print(report.format_text())
+    return 0 if report.ok(fail_on) else 1
+
+
 def _command_show_hocl(args: argparse.Namespace) -> int:
     workflow = workflow_from_json(args.workflow)
     encoding = encode_workflow(workflow)
@@ -396,6 +473,7 @@ _COMMANDS = {
     "backends": _command_backends,
     "validate": _command_validate,
     "lint": _command_lint,
+    "audit": _command_audit,
     "show-hocl": _command_show_hocl,
 }
 

@@ -195,7 +195,7 @@ class Experiment:
             )
         return row
 
-    def _run_point(self, workflow: Workflow | None, config: GinFlowConfig, cell: dict[str, Any]):
+    def _run_point(self, workflow: Workflow | None, config: GinFlowConfig, cell: dict[str, Any]) -> Any:
         if self.runner is not None:
             return self.runner(workflow, config, cell)
         if workflow is None:

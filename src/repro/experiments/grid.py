@@ -31,7 +31,7 @@ class ParameterGrid:
         are concatenated.  An existing :class:`ParameterGrid` is copied.
     """
 
-    def __init__(self, grid: Mapping[str, Any] | Sequence[Mapping[str, Any]] | "ParameterGrid"):
+    def __init__(self, grid: Mapping[str, Any] | Sequence[Mapping[str, Any]] | "ParameterGrid") -> None:
         if isinstance(grid, ParameterGrid):
             self._subgrids: list[dict[str, list[Any]]] = [dict(sub) for sub in grid._subgrids]
             return

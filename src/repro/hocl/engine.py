@@ -89,6 +89,11 @@ class ReductionReport:
         firing effects) and ``"index"`` (mutating the multiset — removals,
         insertions and the index maintenance they imply).  Indicative, not
         deterministic; used to diagnose where a perf regression lives.
+    rule_fires:
+        Number of firings per rule name, aggregated across the whole
+        reduction (and across merged reports).  ``sum(rule_fires.values())``
+        always equals ``reactions``; the dynamic analyzer uses this to flag
+        registered rules that never fired over a run or sweep.
     """
 
     reactions: int = 0
@@ -98,6 +103,7 @@ class ReductionReport:
     timings: dict[str, float] = field(
         default_factory=lambda: {"match": 0.0, "rewrite": 0.0, "index": 0.0}
     )
+    rule_fires: dict[str, int] = field(default_factory=dict)
 
     def merge(self, other: "ReductionReport") -> None:
         """Accumulate ``other`` into this report."""
@@ -107,6 +113,8 @@ class ReductionReport:
         self.history.extend(other.history)
         for phase, seconds in other.timings.items():
             self.timings[phase] = self.timings.get(phase, 0.0) + seconds
+        for name, fires in other.rule_fires.items():
+            self.rule_fires[name] = self.rule_fires.get(name, 0) + fires
 
     def reduction_units(self, solution_size: int) -> float:
         """Cost units of this reduction: attempts weighted by solution size.
@@ -309,6 +317,7 @@ class ReductionEngine:
             solution.add(atom)
         report.timings["index"] += perf_counter() - produced_at
         report.reactions += 1
+        report.rule_fires[rule.name] = report.rule_fires.get(rule.name, 0) + 1
         report.history.append(
             ReactionRecord(rule=rule.name, depth=depth, consumed=len(match.consumed), produced=len(products))
         )

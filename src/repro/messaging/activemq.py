@@ -9,6 +9,8 @@ Section V-C/V-D.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.runtime.backends import register_broker
 
 from .broker import ACTIVEMQ_PROFILE, BrokerProfile, InProcessBroker
@@ -19,7 +21,7 @@ __all__ = ["ActiveMQBroker"]
 class ActiveMQBroker(InProcessBroker):
     """In-process ActiveMQ-like broker (threaded runtime)."""
 
-    def __init__(self, profile: BrokerProfile | None = None):
+    def __init__(self, profile: BrokerProfile | None = None) -> None:
         super().__init__(profile or ACTIVEMQ_PROFILE)
 
 
@@ -28,7 +30,7 @@ class ActiveMQBroker(InProcessBroker):
     capabilities={"persistent": False, "broker_class": ActiveMQBroker},
     description="ActiveMQ 5.6-like JMS broker: fast, transient messaging",
 )
-def _activemq_profile(config) -> BrokerProfile:
+def _activemq_profile(config: Any) -> BrokerProfile:
     """Broker backend factory (honours cost-model profile overrides)."""
     costs = getattr(config, "costs", None)
     return costs.activemq if costs is not None else ACTIVEMQ_PROFILE

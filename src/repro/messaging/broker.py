@@ -172,7 +172,7 @@ class InProcessBroker(Broker):
     blocks on the consumer's work).
     """
 
-    def __init__(self, profile: BrokerProfile):
+    def __init__(self, profile: BrokerProfile) -> None:
         self.profile = profile
         self._subscribers: dict[str, list[Callable[[Message], None]]] = {}
         self._log = MessageLog() if profile.persistent else None

@@ -9,6 +9,8 @@ time gap of Fig. 14.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.runtime.backends import register_broker
 
 from .broker import KAFKA_PROFILE, BrokerProfile, InProcessBroker
@@ -20,7 +22,7 @@ __all__ = ["KafkaBroker"]
 class KafkaBroker(InProcessBroker):
     """In-process Kafka-like broker (threaded runtime)."""
 
-    def __init__(self, profile: BrokerProfile | None = None):
+    def __init__(self, profile: BrokerProfile | None = None) -> None:
         super().__init__(profile or KAFKA_PROFILE)
 
     def consumer_offset(self, topic: str) -> int:
@@ -37,7 +39,7 @@ class KafkaBroker(InProcessBroker):
     capabilities={"persistent": True, "broker_class": KafkaBroker},
     description="Kafka 0.8-like broker: persistent, replayable, ~4x ActiveMQ's cost",
 )
-def _kafka_profile(config) -> BrokerProfile:
+def _kafka_profile(config: Any) -> BrokerProfile:
     """Broker backend factory (honours cost-model profile overrides)."""
     costs = getattr(config, "costs", None)
     return costs.kafka if costs is not None else KAFKA_PROFILE

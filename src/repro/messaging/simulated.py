@@ -35,7 +35,7 @@ class SimulatedBroker(Broker):
         network: NetworkModel | None = None,
         randomness: RandomStreams | None = None,
         dispatchers: int = 1,
-    ):
+    ) -> None:
         if dispatchers < 1:
             raise ValueError("a broker needs at least one dispatcher")
         self.sim = sim
@@ -57,7 +57,7 @@ class SimulatedBroker(Broker):
         queue = self._queues[message.message_id % len(self._queues)]
         processing_done = queue.submit(self.profile.per_message_time)
 
-        def deliver(_event) -> None:
+        def deliver(_event: object) -> None:
             transfer = self.network.transfer_time(
                 message.size_bytes, self.randomness.uniform("broker-jitter")
             )
@@ -67,8 +67,12 @@ class SimulatedBroker(Broker):
         processing_done.add_callback(deliver)
 
     def _deliver(self, message: Message) -> None:
-        self._delivered += 1
-        for callback in list(self._subscribers.get(message.topic, [])):
+        # Count one delivery per subscriber actually handed the message (a
+        # message with no subscriber is lost, not delivered — counting it
+        # would mask exactly the accounting drift `ginflow audit` checks).
+        callbacks = list(self._subscribers.get(message.topic, []))
+        self._delivered += len(callbacks)
+        for callback in callbacks:
             callback(message)
 
     # ------------------------------------------------------------ subscribe

@@ -70,6 +70,13 @@ class ReportAssembler:
             timings = report.extra.setdefault("reduction_timings", {})
             for phase, seconds in core.reduction_timings.items():
                 timings[phase] = timings.get(phase, 0.0) + seconds
+            fires = report.extra.setdefault("rule_fires", {})
+            for rule_name, count in core.rule_fires.items():
+                fires[rule_name] = fires.get(rule_name, 0) + count
+            registered = report.extra.setdefault("rules_registered", [])
+            for rule_name in core.rule_names:
+                if rule_name not in registered:
+                    registered.append(rule_name)
             if name in exit_tasks and outcome.result is not None:
                 report.results[name] = outcome.result
         if engine.config.collect_timeline:

@@ -196,4 +196,5 @@ def _centralized_runtime(workflow: Workflow, config: GinFlowConfig, timeout: flo
                for t in spec.replacement.task_names())
     )
     report.extra["invocations"] = outcome.invocations
+    report.extra["rule_fires"] = dict(outcome.report.rule_fires)
     return report

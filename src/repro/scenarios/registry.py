@@ -142,7 +142,7 @@ class ScenarioRegistry:
         failure_profile: Mapping[str, Any] | None = None,
         tags: tuple[str, ...] = (),
         replace: bool = False,
-    ):
+    ) -> Any:
         """Register ``factory`` as scenario ``name`` (direct call or decorator)."""
 
         def _store(func: Callable[..., Workflow]) -> Callable[..., Workflow]:
@@ -218,7 +218,7 @@ def _first_doc_line(func: Callable[..., Any]) -> str:
 registry = ScenarioRegistry()
 
 
-def register_scenario(name: str, factory=None, **kwargs):
+def register_scenario(name: str, factory: Callable[..., Workflow] | None = None, **kwargs: Any) -> Any:
     """Register a scenario on the global registry (decorator or direct call)."""
     return registry.register(name, factory, **kwargs)
 
