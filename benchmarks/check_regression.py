@@ -15,7 +15,14 @@ against the committed ``BENCH_reduction.json``:
   process, and the committed incremental budget is scaled by the measured
   naive wall over the committed naive wall.  A runner that is uniformly
   2× slower doubles both sides, so only a real slowdown of the incremental
-  engine relative to the committed artifact trips the gate.
+  engine relative to the committed artifact trips the gate;
+* **batched parity** — the ``batch`` strategy must reach the same final
+  solution (content hash) with the same reaction multiset (``rule_fires``)
+  as the serial engine, and its ``match_attempts`` must not exceed the
+  serial-incremental count on any gated scenario (batching may only shrink
+  the match work, never add to it).  When the committed artifact carries
+  per-mode rows (schema 3), the batch wall is gated against its committed
+  value under the same calibration and tolerance.
 
 Gating several structurally distinct scenarios means a data-layer change
 that only bites wide fan-ins (cybershake) or fragmented independent regions
@@ -44,7 +51,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from test_bench_reduction import _ARTIFACT, naive_calibration, reduce_scenario  # noqa: E402
+from test_bench_reduction import (  # noqa: E402
+    _ARTIFACT,
+    naive_calibration,
+    reduce_scenario,
+    reduce_scenario_mode,
+)
 
 #: Scenarios gated by default: the montage chain plus one wide-fan-in and one
 #: fragmented-fan-in family from the scenario catalog.
@@ -63,9 +75,11 @@ def check_scenario(scenario: str, baseline: dict, runs: int, tolerance: float, s
     best_wall = None
     best_naive_wall = None
     attempts = None
+    serial_report = None
+    serial_solution = None
     for _ in range(max(1, runs)):
-        report, wall = reduce_scenario(scenario, incremental=True)
-        attempts = report.match_attempts
+        serial_report, wall, serial_solution = reduce_scenario_mode(scenario, "serial")
+        attempts = serial_report.match_attempts
         best_wall = wall if best_wall is None else min(best_wall, wall)
         _naive_report, naive_wall = reduce_scenario(scenario, incremental=False)
         best_naive_wall = (
@@ -96,6 +110,37 @@ def check_scenario(scenario: str, baseline: dict, runs: int, tolerance: float, s
             f"OK {scenario}: wall {best_wall:.3f}s (committed "
             f"{incremental_baseline['wall_seconds']}s, calibration x{calibration:.2f}, "
             f"budget {budget:.3f}s), match_attempts {attempts} (unchanged)"
+        )
+
+    # -------------------------------------------------- batched-strategy gate
+    batch_report, batch_wall, batch_solution = reduce_scenario_mode(scenario, "batch")
+    if batch_solution.content_hash() != serial_solution.content_hash():
+        print(f"FAIL {scenario}: batch strategy reached a different final solution than serial")
+        passed = False
+    if batch_report.rule_fires != serial_report.rule_fires:
+        print(f"FAIL {scenario}: batch strategy's reaction multiset diverged from serial")
+        passed = False
+    if batch_report.match_attempts > attempts:
+        print(
+            f"FAIL {scenario}: batched match_attempts {batch_report.match_attempts} exceed "
+            f"serial-incremental {attempts} (batching must only shrink match work)"
+        )
+        passed = False
+    batch_baseline = baseline.get("modes", {}).get("batch")
+    if batch_baseline is not None:
+        batch_budget = batch_baseline["wall_seconds"] * calibration * (1.0 + tolerance) + max(0.0, slack)
+        if batch_wall > batch_budget:
+            print(
+                f"FAIL {scenario}: batch wall {batch_wall:.3f}s exceeds the committed "
+                f"{batch_baseline['wall_seconds']}s by more than {tolerance:.0%} after "
+                f"calibration x{calibration:.2f} + {slack}s slack (budget {batch_budget:.3f}s)"
+            )
+            passed = False
+    if passed:
+        print(
+            f"OK {scenario}: batch parity holds — wall {batch_wall:.3f}s, "
+            f"match_attempts {batch_report.match_attempts} <= serial {attempts}, "
+            f"batches {batch_report.batches}"
         )
     return passed
 

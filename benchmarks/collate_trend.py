@@ -8,10 +8,12 @@ jumps above its tolerance; slow drift *inside* the tolerance compounds
 silently across PRs.  This script folds any number of downloaded artifacts
 into one per-scenario trend table so that drift becomes visible:
 
-* one row per (commit, scenario): reactions, match_attempts, incremental /
-  naive wall seconds, wall-clock speedup;
-* a ``drift`` column: the incremental wall relative to the *first* (oldest)
-  collated commit of that scenario — the number the 20%-per-PR gate cannot
+* one row per (commit, scenario, mode): reactions, match_attempts, wall
+  seconds per reduction strategy (``serial``/``batch``/``parallel`` —
+  schema-2 artifacts contribute a single ``serial`` row), plus the naive
+  wall and wall-clock speedup on the serial row;
+* a ``drift`` column: the wall relative to the *first* (oldest) collated
+  commit of that (scenario, mode) — the number the 20%-per-PR gate cannot
   see;
 * commits are ordered by artifact modification time (artifact downloads
   preserve upload order); ``--order name`` sorts by SHA instead.
@@ -44,6 +46,7 @@ _STAMPED = re.compile(r"^BENCH_reduction-(?P<sha>[0-9a-fA-F]{7,40})\.json$")
 _COLUMNS = (
     "commit",
     "scenario",
+    "mode",
     "reactions",
     "match_attempts",
     "wall_seconds",
@@ -89,35 +92,44 @@ def load_rows(path: Path) -> Iterator[dict[str, Any]]:
         print(f"warning: {path} is not a reduction artifact; skipping", file=sys.stderr)
         return
     for scenario, row in sorted(payload.get("scenarios", {}).items()):
-        incremental = row.get("incremental", {})
         naive = row.get("naive", {})
         speedup = row.get("speedup", {})
-        yield {
-            "commit": _label(path),
-            "scenario": scenario,
-            "reactions": row.get("reactions"),
-            "match_attempts": incremental.get("match_attempts"),
-            "wall_seconds": incremental.get("wall_seconds"),
-            "naive_wall_seconds": naive.get("wall_seconds"),
-            "speedup": speedup.get("wall_clock"),
-        }
+        # Schema 3 carries one sub-row per reduction strategy; schema 2
+        # artifacts only measured the serial incremental engine.
+        modes = row.get("modes") or {"serial": row.get("incremental", {})}
+        for mode, measured in sorted(modes.items()):
+            serial_row = mode == "serial"
+            yield {
+                "commit": _label(path),
+                "scenario": scenario,
+                "mode": mode,
+                "reactions": row.get("reactions"),
+                "match_attempts": measured.get("match_attempts"),
+                "wall_seconds": measured.get("wall_seconds"),
+                "naive_wall_seconds": naive.get("wall_seconds") if serial_row else None,
+                "speedup": speedup.get("wall_clock") if serial_row else None,
+            }
 
 
-def collate(files: list[Path], scenarios: list[str] | None) -> list[dict[str, Any]]:
+def collate(
+    files: list[Path], scenarios: list[str] | None, modes: list[str] | None = None
+) -> list[dict[str, Any]]:
     """All rows across ``files``, with the cross-commit drift column filled."""
     rows: list[dict[str, Any]] = []
     for path in files:
         for row in load_rows(path):
             if scenarios and row["scenario"] not in scenarios:
                 continue
+            if modes and row["mode"] not in modes:
+                continue
             rows.append(row)
-    first_wall: dict[str, float] = {}
+    first_wall: dict[tuple[str, str], float] = {}
     for row in rows:
         wall = row["wall_seconds"]
         if wall is None:
             row["drift"] = None
             continue
-        base = first_wall.setdefault(row["scenario"], wall)
+        base = first_wall.setdefault((row["scenario"], row["mode"]), wall)
         row["drift"] = round((wall - base) / base, 3) if base else None
     return rows
 
@@ -155,6 +167,12 @@ def main(argv: list[str] | None = None) -> int:
         help="only collate this scenario (repeatable; default: all)",
     )
     parser.add_argument(
+        "--mode",
+        action="append",
+        default=None,
+        help="only collate this reduction strategy (repeatable; default: all)",
+    )
+    parser.add_argument(
         "--order",
         choices=["mtime", "name"],
         default="mtime",
@@ -169,7 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         files.sort(key=lambda path: path.stat().st_mtime)
     else:
         files.sort(key=lambda path: path.name)
-    rows = collate(files, args.scenario)
+    rows = collate(files, args.scenario, args.mode)
     if not rows:
         print("no artifact rows collated", file=sys.stderr)
         return 1

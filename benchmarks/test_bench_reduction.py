@@ -1,6 +1,6 @@
 """Benchmark matrix of the HOCL reduction engine.
 
-Three claims are checked and published as ``BENCH_reduction.json``:
+Four claims are checked and published as ``BENCH_reduction.json``:
 
 * **Equivalence** — the optimized incremental engine (inertness caching,
   head-symbol indexing, quick-reject pre-checks, version-stamped rejection
@@ -9,8 +9,21 @@ Three claims are checked and published as ``BENCH_reduction.json``:
 * **Attempt speedup** — the incremental engine performs at least 5× fewer
   match attempts than the naive re-reduce-everything engine (deterministic,
   machine-independent);
+* **Strategy parity** — the ``batch`` and ``parallel`` reduction strategies
+  reach the *same final solution* (content hash) with the *same reaction
+  multiset* (``rule_fires``) as the serial engine, and the batched engine's
+  ``match_attempts`` may only shrink relative to serial;
 * **Wall-clock** — the montage-500 centralised reduction completes in
-  ≤ 5 s (the PR-4 target; PR 2 measured 15.18 s).
+  ≤ 5 s (the PR-4 target; PR 2 measured 15.18 s), and — full profile —
+  montage-1000 runs ≥ 1.4× faster in batch or parallel mode than the
+  committed serial-incremental wall.
+
+Every scenario row carries a ``modes`` object (schema_version 3): per
+strategy (``serial``/``batch``/``parallel``), the match attempts, the wall
+seconds, the match/rewrite/index timing split and — for the batched
+strategies — the number of reaction batches applied.  The legacy
+``incremental`` object aliases ``modes.serial`` so older tooling keeps
+working.
 
 Scenario matrix (the paper's two workflow shapes at several scales, plus two
 families from the scenario catalog, :mod:`repro.scenarios`):
@@ -44,6 +57,7 @@ import time
 from pathlib import Path
 
 from repro.hocl import ReductionEngine, default_registry
+from repro.hocl.parallel import reduce_sharded, resolve_policy
 from repro.hoclflow import encode_workflow
 from repro.hoclflow.generic_rules import register_workflow_externals
 from repro.scenarios import build_scenario
@@ -76,13 +90,34 @@ def _full_profile() -> bool:
     return bool(os.environ.get("GINFLOW_FULL"))
 
 
+#: Reduction strategies measured per scenario (schema v3 ``modes`` rows).
+_MODES = ("serial", "batch", "parallel")
+
+
 def reduce_scenario(scenario: str, incremental: bool):
     """Centralised reduction of one scenario; returns (report, wall_seconds)."""
     return reduce_workflow(_SCENARIOS[scenario](), incremental)
 
 
+def reduce_scenario_mode(scenario: str, mode: str):
+    """One scenario under one strategy; returns (report, wall_seconds, solution)."""
+    return reduce_workflow_mode(_SCENARIOS[scenario](), mode)
+
+
 def reduce_workflow(workflow, incremental: bool):
-    """Centralised reduction of ``workflow``; returns (report, wall_seconds)."""
+    """Centralised serial reduction of ``workflow``; returns (report, wall_seconds)."""
+    report, elapsed, _solution = reduce_workflow_mode(workflow, "serial", incremental=incremental)
+    return report, elapsed
+
+
+def reduce_workflow_mode(workflow, mode: str = "serial", incremental: bool = True):
+    """Centralised reduction of ``workflow`` under one reduction strategy.
+
+    Returns ``(report, wall_seconds, solution)`` — the final solution is what
+    the strategy-parity checks hash.  ``mode`` is a registered strategy name
+    (``serial``/``batch``/``parallel``); ``incremental=False`` selects the
+    naive re-reduce-everything engine (serial only, the calibration baseline).
+    """
     encoding = encode_workflow(workflow)
     solution = encoding.to_multiset()
     registry = ServiceRegistry()
@@ -102,14 +137,28 @@ def reduce_workflow(workflow, incremental: bool):
 
     externals = default_registry()
     register_workflow_externals(externals, invoke)
-    engine = ReductionEngine(
-        externals=externals, max_steps=5_000_000, incremental=incremental
-    )
+    policy = resolve_policy(mode)
+
+    def engine_factory() -> ReductionEngine:
+        return ReductionEngine(
+            externals=externals,
+            max_steps=5_000_000,
+            incremental=incremental,
+            **policy.engine_options(),
+        )
+
     start = time.perf_counter()
-    report = engine.reduce(solution)
+    if policy.parallel:
+        reducer = policy.make_reducer()
+        try:
+            report = reduce_sharded(solution, engine_factory, reducer, max_steps=5_000_000)
+        finally:
+            reducer.shutdown()
+    else:
+        report = engine_factory().reduce(solution)
     elapsed = time.perf_counter() - start
     assert report.inert
-    return report, elapsed
+    return report, elapsed, solution
 
 
 def _trace(report):
@@ -117,30 +166,57 @@ def _trace(report):
 
 
 def _measure(scenario: str) -> dict:
-    """Run one scenario with both engines; check parity and package the row."""
-    incremental, seconds_incremental = reduce_scenario(scenario, incremental=True)
+    """Run one scenario under every strategy; check parity, package the row."""
+    serial, seconds_serial, serial_solution = reduce_scenario_mode(scenario, "serial")
     naive, seconds_naive = reduce_scenario(scenario, incremental=False)
-    assert _trace(incremental) == _trace(naive), f"{scenario}: trace diverged"
-    attempts_speedup = naive.match_attempts / max(1, incremental.match_attempts)
+    assert _trace(serial) == _trace(naive), f"{scenario}: trace diverged"
+    attempts_speedup = naive.match_attempts / max(1, serial.match_attempts)
     assert attempts_speedup >= 5.0, (
         f"{scenario}: expected >=5x fewer match attempts, got {attempts_speedup:.1f}x "
-        f"({naive.match_attempts} -> {incremental.match_attempts})"
+        f"({naive.match_attempts} -> {serial.match_attempts})"
     )
+    serial_hash = serial_solution.content_hash()
+    modes = {
+        "serial": {
+            "match_attempts": serial.match_attempts,
+            "wall_seconds": round(seconds_serial, 3),
+            "timings": {k: round(v, 3) for k, v in serial.timings.items()},
+        }
+    }
+    for mode in _MODES[1:]:
+        report, seconds, solution = reduce_scenario_mode(scenario, mode)
+        assert solution.content_hash() == serial_hash, (
+            f"{scenario}: {mode} reached a different final solution than serial"
+        )
+        assert report.rule_fires == serial.rule_fires, (
+            f"{scenario}: {mode} reaction multiset diverged from serial"
+        )
+        assert report.reactions == serial.reactions
+        if mode == "batch":
+            assert report.match_attempts <= serial.match_attempts, (
+                f"{scenario}: batched match_attempts {report.match_attempts} exceed "
+                f"serial-incremental {serial.match_attempts}"
+            )
+        modes[mode] = {
+            "match_attempts": report.match_attempts,
+            "wall_seconds": round(seconds, 3),
+            "timings": {k: round(v, 3) for k, v in report.timings.items()},
+            "batches": report.batches,
+        }
     return {
-        "reactions": incremental.reactions,
-        "incremental": {
-            "match_attempts": incremental.match_attempts,
-            "wall_seconds": round(seconds_incremental, 3),
-            "timings": {k: round(v, 3) for k, v in incremental.timings.items()},
-        },
+        "reactions": serial.reactions,
+        # legacy alias of modes.serial (schema v2 consumers: the CI gate's
+        # committed-row lookup and the trend collator's fallback)
+        "incremental": modes["serial"],
         "naive": {
             "match_attempts": naive.match_attempts,
             "wall_seconds": round(seconds_naive, 3),
         },
         "speedup": {
             "match_attempts": round(attempts_speedup, 1),
-            "wall_clock": round(seconds_naive / max(1e-9, seconds_incremental), 2),
+            "wall_clock": round(seconds_naive / max(1e-9, seconds_serial), 2),
         },
+        "modes": modes,
     }
 
 
@@ -222,6 +298,35 @@ def test_benchmark_matrix_and_artifact():
         f"(budget {_MONTAGE_500_BUDGET} s x calibration {calibration:.2f})"
     )
 
+    # Full profile: the parallel-reduction acceptance gate.  The best of the
+    # batch/parallel strategies on montage-1000 must beat the *committed*
+    # serial-incremental wall by >= 1.4x, calibrated to this machine the same
+    # way (via the scenario's own naive run).
+    if "montage-1000-centralized" in scenarios:
+        row = scenarios["montage-1000-centralized"]
+        committed_row = committed.get("montage-1000-centralized", {})
+        committed_serial = committed_row.get("incremental", {}).get("wall_seconds")
+        committed_naive_1000 = committed_row.get("naive", {}).get("wall_seconds")
+        if committed_serial and committed_naive_1000:
+            calibration_1000 = naive_calibration(
+                row["naive"]["wall_seconds"], committed_naive_1000, floor=1.0
+            )
+            best_mode, best = min(
+                ((mode, row["modes"][mode]) for mode in ("batch", "parallel")),
+                key=lambda pair: pair[1]["wall_seconds"],
+            )
+            ceiling = committed_serial * calibration_1000 / 1.4
+            assert best["wall_seconds"] <= ceiling, (
+                f"montage-1000 {best_mode} wall {best['wall_seconds']} s misses the "
+                f"1.4x speedup over the committed serial {committed_serial} s "
+                f"(calibration x{calibration_1000:.2f}, ceiling {ceiling:.3f} s)"
+            )
+            print(
+                f"\nmontage-1000 acceptance: {best_mode} {best['wall_seconds']} s vs "
+                f"committed serial {committed_serial} s "
+                f"({committed_serial * calibration_1000 / best['wall_seconds']:.2f}x)"
+            )
+
     # keep the committed rows for the scenarios this profile deliberately
     # skipped (and only those: renamed/removed scenarios must not linger)
     for name, row in committed.items():
@@ -230,7 +335,7 @@ def test_benchmark_matrix_and_artifact():
 
     payload = {
         "benchmark": "hocl-reduction",
-        "schema_version": 2,
+        "schema_version": 3,
         "scenarios": scenarios,
     }
     _ARTIFACT.write_text(json.dumps(payload, indent=2) + "\n")

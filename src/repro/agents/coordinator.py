@@ -56,7 +56,7 @@ class Coordinator:
         exit_tasks: list[str],
         on_complete: Callable[[float], None] | None = None,
         adaptable_tasks: set[str] | None = None,
-    ):
+    ) -> None:
         if not exit_tasks:
             raise ValueError("the coordinator needs at least one exit task")
         self.exit_tasks = list(exit_tasks)

@@ -19,9 +19,13 @@ stand-in for the real decentralised execution.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 from repro.hocl import Multiset, ReductionEngine, Symbol, default_registry, to_atom
+from repro.hocl.parallel import resolve_policy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hocl.parallel import ParallelReducer, ReductionPolicy
 from repro.hoclflow import keywords as kw
 from repro.hoclflow.fields import (
     build_parameters,
@@ -53,9 +57,32 @@ class AgentState:
 
 
 class AgentCore:
-    """Local solution + interpreter + bookkeeping of one service agent."""
+    """Local solution + interpreter + bookkeeping of one service agent.
 
-    def __init__(self, encoding: TaskEncoding, max_reduction_steps: int = 10_000):
+    Parameters
+    ----------
+    encoding:
+        The task's HOCLflow encoding (fields + generic rules).
+    max_reduction_steps:
+        Safety bound on reactions per stimulus.
+    reduction:
+        Reduction strategy (a name or a resolved
+        :class:`~repro.hocl.parallel.ReductionPolicy`); ``None`` means
+        serial.  ``batch`` engines fire whole batches of disjoint matches
+        per pass — same final solution, fewer match sweeps.
+    reducer:
+        Optional shared :class:`~repro.hocl.parallel.ParallelReducer`: when
+        given, each reduction runs on its pool (the caller blocks, so
+        per-agent stimuli stay serialized) instead of the calling thread.
+    """
+
+    def __init__(
+        self,
+        encoding: TaskEncoding,
+        max_reduction_steps: int = 10_000,
+        reduction: "ReductionPolicy | str | None" = None,
+        reducer: "ParallelReducer | None" = None,
+    ) -> None:
         self.encoding = encoding
         self.name = encoding.name
         self._pending: list[Action] = []
@@ -72,8 +99,13 @@ class AgentCore:
         # Incremental: between stimuli the local solution stays stamped
         # inert, so re-entering reduction after a stimulus only re-examines
         # the parts of the solution the stimulus actually dirtied.
+        self.policy = resolve_policy(reduction)
+        self.reducer = reducer
         self.engine = ReductionEngine(
-            externals=externals, max_steps=max_reduction_steps, incremental=True
+            externals=externals,
+            max_steps=max_reduction_steps,
+            incremental=True,
+            **self.policy.engine_options(),
         )
         self.state = AgentState.IDLE
         self.invocation_requested = False
@@ -201,7 +233,10 @@ class AgentCore:
             body.solution.add(atom)
 
     def _reduce_and_collect(self) -> list[Action]:
-        report = self.engine.reduce(self.solution)
+        if self.reducer is not None:
+            report = self.reducer.run(self.engine.reduce, self.solution)
+        else:
+            report = self.engine.reduce(self.solution)
         self.match_attempts += report.match_attempts
         self.reactions += report.reactions
         self.reduction_units += report.reduction_units(len(self.solution))

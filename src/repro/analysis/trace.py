@@ -156,6 +156,7 @@ def audit_workflow(
     seed: int = 1,
     repeats: int = 1,
     timeout: float = 120.0,
+    reduction: str = "serial",
     label: str = "",
     **overrides: Any,
 ) -> AnalysisReport:
@@ -179,7 +180,7 @@ def audit_workflow(
     runs: list[RunReport] = []
     all_succeeded = True
     for repeat in range(max(1, repeats)):
-        config = GinFlowConfig(mode=mode, nodes=nodes, seed=seed + repeat)
+        config = GinFlowConfig(mode=mode, nodes=nodes, seed=seed + repeat, reduction=reduction)
         run = GinFlow(config).run(workflow, timeout=timeout, **overrides)
         runs.append(run)
         run_label = f"{where}: run {repeat + 1}/{max(1, repeats)} ({mode}, seed={seed + repeat})"
@@ -220,6 +221,7 @@ def audit_scenario(
     seed: int = 1,
     repeats: int = 1,
     timeout: float = 120.0,
+    reduction: str = "serial",
     **params: Any,
 ) -> AnalysisReport:
     """Audit one registered scenario (spec syntax ``name[:k=v,...]``)."""
@@ -234,6 +236,7 @@ def audit_scenario(
         seed=seed,
         repeats=repeats,
         timeout=timeout,
+        reduction=reduction,
         label=f"scenario {name!r}",
     )
 
@@ -246,6 +249,7 @@ def audit_all_scenarios(
     seed: int = 1,
     repeats: int = 1,
     timeout: float = 120.0,
+    reduction: str = "serial",
 ) -> AnalysisReport:
     """Audit every registered scenario at a small size (CI smoke profile)."""
     report = AnalysisReport()
@@ -258,6 +262,7 @@ def audit_all_scenarios(
                 seed=seed,
                 repeats=repeats,
                 timeout=timeout,
+                reduction=reduction,
                 size=size,
             )
         )

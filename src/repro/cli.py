@@ -21,8 +21,8 @@ or, without installing the console script::
 
     python -m repro.cli run workflow.json
 
-Backend choices (``--mode`` / ``--executor`` / ``--broker`` / ``--cluster``)
-are drawn dynamically from the backend registry
+Backend choices (``--mode`` / ``--executor`` / ``--broker`` / ``--cluster``
+/ ``--reduction``) are drawn dynamically from the backend registry
 (:mod:`repro.runtime.backends`), so third-party backends registered before
 :func:`main` runs are accepted everywhere without touching this module.
 """
@@ -41,6 +41,7 @@ from repro.runtime.backends import (
     available_brokers,
     available_clusters,
     available_executors,
+    available_reductions,
     available_runtimes,
     ensure_builtin_backends,
     registry,
@@ -81,6 +82,9 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--broker", default="activemq", choices=available_brokers())
     parser.add_argument("--cluster", default="grid5000", choices=available_clusters(),
                         help="cluster preset (simulated mode)")
+    parser.add_argument("--reduction", default="serial", choices=available_reductions(),
+                        help="HOCL reduction strategy: serial (reference), batch "
+                        "(disjoint matches per pass), parallel (batch + concurrent shards)")
     parser.add_argument("--nodes", type=int, default=25, help="number of cluster nodes (simulated mode)")
     parser.add_argument("--seed", type=int, default=1, help="root random seed")
 
@@ -173,6 +177,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="audit every registered scenario at a small size (size=20)",
     )
     audit_parser.add_argument("--mode", default="simulated", choices=available_runtimes())
+    audit_parser.add_argument("--reduction", default="serial", choices=available_reductions(),
+                              help="HOCL reduction strategy audited runs use")
     audit_parser.add_argument("--nodes", type=int, default=5, help="number of cluster nodes")
     audit_parser.add_argument("--seed", type=int, default=1, help="root random seed")
     audit_parser.add_argument(
@@ -201,6 +207,7 @@ def _base_config(args: argparse.Namespace, failures: FailureModel | None = None)
         mode=args.mode,
         executor=args.executor,
         broker=args.broker,
+        reduction=args.reduction,
         cluster_preset=args.cluster,
         nodes=args.nodes,
         seed=args.seed,
@@ -434,11 +441,20 @@ def _command_audit(args: argparse.Namespace) -> int:
     report: AnalysisReport
     if args.all_scenarios:
         report = audit_all_scenarios(
-            mode=args.mode, nodes=args.nodes, seed=args.seed, repeats=args.repeats
+            mode=args.mode,
+            nodes=args.nodes,
+            seed=args.seed,
+            repeats=args.repeats,
+            reduction=args.reduction,
         )
     elif args.scenario:
         report = audit_scenario(
-            args.scenario, mode=args.mode, nodes=args.nodes, seed=args.seed, repeats=args.repeats
+            args.scenario,
+            mode=args.mode,
+            nodes=args.nodes,
+            seed=args.seed,
+            repeats=args.repeats,
+            reduction=args.reduction,
         )
     else:
         report = audit_workflow(
@@ -447,6 +463,7 @@ def _command_audit(args: argparse.Namespace) -> int:
             nodes=args.nodes,
             seed=args.seed,
             repeats=args.repeats,
+            reduction=args.reduction,
         )
     fail_on = Severity.parse(args.fail_on)
     if args.json_out:

@@ -13,6 +13,7 @@ engine must produce the same final results, which the integration tests check.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -26,6 +27,7 @@ from repro.hocl import (
     default_registry,
     from_atom,
 )
+from repro.hocl.parallel import reduce_sharded, resolve_policy
 from repro.hoclflow import encode_workflow
 from repro.hoclflow import keywords as kw
 from repro.hoclflow.fields import get_res_atoms, has_error
@@ -53,13 +55,35 @@ class CentralizedOutcome:
 
 
 class CentralizedExecutor:
-    """Single-interpreter execution of an encoded workflow."""
+    """Single-interpreter execution of an encoded workflow.
+
+    Parameters
+    ----------
+    registry:
+        Service registry resolving task services.
+    max_steps:
+        Safety bound on total reactions.
+    reduction:
+        Reduction strategy (name or resolved
+        :class:`~repro.hocl.parallel.ReductionPolicy`).  ``batch`` swaps
+        the engine into batched passes; ``parallel`` additionally shards
+        the top-level task sub-solutions over a pool
+        (:func:`~repro.hocl.parallel.reduce_sharded`) — same final
+        solution, invocations may run concurrently, so services invoked
+        this way must be thread-safe.
+    """
 
     name = "centralized"
 
-    def __init__(self, registry: ServiceRegistry | None = None, max_steps: int = 1_000_000):
+    def __init__(
+        self,
+        registry: ServiceRegistry | None = None,
+        max_steps: int = 1_000_000,
+        reduction: Any = None,
+    ):
         self.registry = registry or ServiceRegistry()
         self.max_steps = max_steps
+        self.policy = resolve_policy(reduction)
 
     def execute(self, workflow: Workflow) -> CentralizedOutcome:
         """Encode and run ``workflow`` to inertness; collect per-task results."""
@@ -71,17 +95,22 @@ class CentralizedExecutor:
         solution = encoding.to_multiset()
         invocation_counter = {"count": 0}
         attempts: dict[str, int] = {}
+        # Under a parallel policy, `invoke` is called from pool workers
+        # reducing different shards concurrently; the counters need a lock
+        # (the shards themselves are disjoint and need none).
+        counter_lock = threading.Lock()
 
         def invoke(task_name: str, service_name: str, parameters: list[Any]) -> Any:
-            invocation_counter["count"] += 1
-            attempts[task_name] = attempts.get(task_name, 0) + 1
+            with counter_lock:
+                invocation_counter["count"] += 1
+                attempt = attempts[task_name] = attempts.get(task_name, 0) + 1
             task_encoding = encoding.tasks[task_name]
             service = self.registry.resolve(service_name)
             context = InvocationContext(
                 task_name=task_name,
                 duration=task_encoding.duration,
                 metadata=task_encoding.metadata,
-                attempt=attempts[task_name],
+                attempt=attempt,
             )
             outcome = service.invoke(list(parameters), context)
             if outcome.failed:
@@ -90,8 +119,22 @@ class CentralizedExecutor:
 
         externals = default_registry()
         register_workflow_externals(externals, invoke)
-        engine = ReductionEngine(externals=externals, max_steps=self.max_steps)
-        report = engine.reduce(solution)
+
+        def engine_factory() -> ReductionEngine:
+            return ReductionEngine(
+                externals=externals, max_steps=self.max_steps, **self.policy.engine_options()
+            )
+
+        if self.policy.parallel:
+            reducer = self.policy.make_reducer()
+            try:
+                report = reduce_sharded(
+                    solution, engine_factory, reducer, max_steps=self.max_steps
+                )
+            finally:
+                reducer.shutdown()
+        else:
+            report = engine_factory().reduce(solution)
 
         results: dict[str, Any] = {}
         errors: dict[str, str] = {}

@@ -32,6 +32,7 @@ from .atoms import (
     to_atom,
 )
 from .engine import ReductionEngine, ReductionReport, is_inert, reduce_solution
+from .parallel import ParallelReducer, ReductionPolicy, reduce_sharded, resolve_policy
 from .errors import (
     AtomError,
     ExternalFunctionError,
@@ -118,6 +119,10 @@ __all__ = [
     "find_matches",
     "find_first_match",
     "count_matches",
+    "ParallelReducer",
+    "ReductionPolicy",
+    "reduce_sharded",
+    "resolve_policy",
     "ReductionEngine",
     "ReductionReport",
     "reduce_solution",

@@ -196,6 +196,13 @@ class Symbol(Atom):
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self) -> tuple:
+        # Interning makes the default slots pickling unusable (`__new__`
+        # requires the name); reconstructing through the constructor both
+        # pickles cleanly and re-interns on load — needed by the opt-in
+        # process-pool reduction path (`repro.hocl.parallel`).
+        return (type(self), (self.name,))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Symbol({self.name!r})"
 

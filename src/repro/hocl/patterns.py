@@ -158,6 +158,20 @@ class Pattern:
         """
         return None
 
+    def index_key_with(self, bindings: Bindings) -> Any | None:
+        """Like :meth:`index_key`, but sharpened by an existing environment.
+
+        During a multi-pattern search, variables bound by earlier patterns
+        can make a later pattern far more selective — e.g. a ``Tj : <...>``
+        tuple pattern whose head variable is already bound to a symbol can
+        only match tuples in that symbol's bucket, turning an O(solution)
+        scan into a single-bucket lookup.  The same guarantee as
+        :meth:`index_key` holds relative to ``bindings``: every atom the
+        pattern can match *under this environment* carries the returned key,
+        and bucket order keeps the narrowed enumeration trace-identical.
+        """
+        return self.index_key()
+
 
 class Var(Pattern):
     """Match any single atom and bind it to ``name``.
@@ -374,6 +388,18 @@ class TuplePattern(Pattern):
             if isinstance(first, Literal) and isinstance(first.atom, Symbol):
                 return ("tuple", first.atom.name)
         return ("kind", "tuple")
+
+    def index_key_with(self, bindings: Bindings) -> Any | None:
+        # A variable head already bound to a symbol (``gw_pass`` binds Tj
+        # inside Ti's DST before trying Tj's own tuple) pins the search to
+        # that symbol's tuple bucket.
+        if self.elements:
+            first = self.elements[0]
+            if isinstance(first, Var):
+                bound = bindings.get(first.name)
+                if isinstance(bound, Symbol):
+                    return ("tuple", bound.name)
+        return self.index_key()
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"TuplePattern({', '.join(repr(e) for e in self.elements)}, rest={self.rest!r})"

@@ -87,7 +87,7 @@ _LAZY = {
 _DERIVED = backends.DERIVED_VIEWS
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _DERIVED:
         return _DERIVED[name]()
     try:

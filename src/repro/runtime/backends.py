@@ -12,7 +12,9 @@ chains.  Backends come in four *kinds*:
 * ``"broker"`` — messaging middlewares; factory signature
   ``(config) -> BrokerProfile``;
 * ``"cluster"`` — infrastructure presets; factory signature
-  ``(config) -> Cluster``.
+  ``(config) -> Cluster``;
+* ``"reduction"`` — HOCL reduction strategies; factory signature
+  ``(config) -> ReductionPolicy``.
 
 Built-in backends register themselves in the modules that define them
 (:mod:`repro.executors.ssh`, :mod:`repro.messaging.kafka`, ...); third-party
@@ -52,16 +54,18 @@ __all__ = [
     "register_executor",
     "register_broker",
     "register_cluster",
+    "register_reduction",
     "get_backend",
     "available_runtimes",
     "available_executors",
     "available_brokers",
     "available_clusters",
+    "available_reductions",
     "ensure_builtin_backends",
 ]
 
 #: The backend kinds the engine dispatches on.
-KINDS = ("runtime", "executor", "broker", "cluster")
+KINDS = ("runtime", "executor", "broker", "cluster", "reduction")
 
 
 class BackendError(ValueError):
@@ -121,7 +125,7 @@ class BackendRegistry:
         capabilities: Mapping[str, Any] | None = None,
         description: str = "",
         replace: bool = False,
-    ):
+    ) -> Callable[..., Any]:
         """Register ``factory`` as the ``kind`` backend called ``name``.
 
         Usable directly (``register("broker", "x", build_x)``) or as a
@@ -211,29 +215,39 @@ registry = BackendRegistry()
 
 
 # ------------------------------------------------------- public decorators
-def register_backend(kind: str, name: str, factory=None, **kwargs):
+_Factory = Callable[..., Any]
+
+
+def register_backend(
+    kind: str, name: str, factory: _Factory | None = None, **kwargs: Any
+) -> _Factory:
     """Register a backend of any kind on the global registry."""
     return registry.register(kind, name, factory, **kwargs)
 
 
-def register_runtime(name: str, factory=None, **kwargs):
+def register_runtime(name: str, factory: _Factory | None = None, **kwargs: Any) -> _Factory:
     """Register an execution mode (``(workflow, config, timeout=None) -> RunReport``)."""
     return registry.register("runtime", name, factory, **kwargs)
 
 
-def register_executor(name: str, factory=None, **kwargs):
+def register_executor(name: str, factory: _Factory | None = None, **kwargs: Any) -> _Factory:
     """Register a distributed executor (``(config) -> DistributedExecutor``)."""
     return registry.register("executor", name, factory, **kwargs)
 
 
-def register_broker(name: str, factory=None, **kwargs):
+def register_broker(name: str, factory: _Factory | None = None, **kwargs: Any) -> _Factory:
     """Register a messaging middleware (``(config) -> BrokerProfile``)."""
     return registry.register("broker", name, factory, **kwargs)
 
 
-def register_cluster(name: str, factory=None, **kwargs):
+def register_cluster(name: str, factory: _Factory | None = None, **kwargs: Any) -> _Factory:
     """Register a cluster preset (``(config) -> Cluster``)."""
     return registry.register("cluster", name, factory, **kwargs)
+
+
+def register_reduction(name: str, factory: _Factory | None = None, **kwargs: Any) -> _Factory:
+    """Register a reduction strategy (``(config) -> ReductionPolicy``)."""
+    return registry.register("reduction", name, factory, **kwargs)
 
 
 # ----------------------------------------------------------- derived views
@@ -267,6 +281,12 @@ def available_clusters() -> tuple[str, ...]:
     return registry.names("cluster")
 
 
+def available_reductions() -> tuple[str, ...]:
+    """Names of every registered reduction strategy."""
+    ensure_builtin_backends()
+    return registry.names("reduction")
+
+
 #: Legacy tuple names resolved as live registry views by the module
 #: ``__getattr__`` hooks of :mod:`repro.runtime` and
 #: :mod:`repro.runtime.config` (single source of truth for both).
@@ -274,6 +294,7 @@ DERIVED_VIEWS: dict[str, Callable[[], tuple[str, ...]]] = {
     "EXECUTION_MODES": available_runtimes,
     "EXECUTORS": available_executors,
     "BROKERS": available_brokers,
+    "REDUCTIONS": available_reductions,
 }
 
 
@@ -281,6 +302,7 @@ DERIVED_VIEWS: dict[str, Callable[[], tuple[str, ...]]] = {
 #: Modules whose import registers the built-in backends (in registration
 #: order — this order is what `available_*()` and the CLI choices show).
 _BUILTIN_MODULES = (
+    "repro.runtime.reduction",
     "repro.runtime.simulation",
     "repro.runtime.threaded",
     "repro.runtime.aio",

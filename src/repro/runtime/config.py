@@ -50,6 +50,14 @@ class GinFlowConfig:
         distributed modes only).
     broker:
         Messaging middleware name (``"activemq"``, ``"kafka"``, ...).
+    reduction:
+        Reduction strategy name (``"serial"``, ``"batch"``, ``"parallel"``,
+        or any registered third-party strategy).  ``serial`` is the
+        reference one-reaction-per-pass semantics; ``batch`` applies every
+        disjoint applicable match per pass; ``parallel`` adds concurrent
+        reduction of independent shards (per-agent solutions, centralised
+        top-level sub-solutions).  All strategies reach the same final
+        solution on GinFlow's confluent programs.
     cluster_preset:
         Cluster preset name used when no explicit ``cluster`` is given
         (``"grid5000"`` by default).
@@ -79,6 +87,7 @@ class GinFlowConfig:
     mode: str = "simulated"
     executor: str = "ssh"
     broker: str = "activemq"
+    reduction: str = "serial"
     cluster_preset: str = "grid5000"
     nodes: int = 25
     cluster: Cluster | None = None
@@ -101,6 +110,7 @@ class GinFlowConfig:
         backends.registry.get("runtime", self.mode)
         backends.registry.get("executor", self.executor)
         backends.registry.get("broker", self.broker)
+        backends.registry.get("reduction", self.reduction)
         if self.cluster is None:
             backends.registry.get("cluster", self.cluster_preset)
         if self.nodes < 1:
@@ -140,13 +150,17 @@ class GinFlowConfig:
 
         return grid5000_network()
 
-    def build_executor(self):
+    def build_executor(self) -> Any:
         """The distributed executor instance (from the executor backends)."""
         return backends.get_backend("executor", self.executor).build(self)
 
-    def broker_profile(self):
+    def broker_profile(self) -> Any:
         """The broker profile selected by ``broker`` (from the broker backends)."""
         return backends.get_backend("broker", self.broker).build(self)
+
+    def reduction_policy(self) -> Any:
+        """The resolved reduction policy selected by ``reduction``."""
+        return backends.get_backend("reduction", self.reduction).build(self)
 
     def build_registry(self) -> ServiceRegistry:
         """The service registry (a fresh default one when none was given)."""
@@ -162,7 +176,7 @@ class GinFlowConfig:
         return replace(self, **overrides)
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     """Derived views of the registry, kept for backwards compatibility."""
     view = backends.DERIVED_VIEWS.get(name)
     if view is not None:

@@ -50,7 +50,9 @@ __all__ = ["GinFlow"]
 class GinFlow:
     """Decentralised adaptive workflow execution manager (paper's Section IV)."""
 
-    def __init__(self, config: GinFlowConfig | None = None, registry: ServiceRegistry | None = None):
+    def __init__(
+        self, config: GinFlowConfig | None = None, registry: ServiceRegistry | None = None
+    ) -> None:
         self.config = config or GinFlowConfig()
         # Explicit service-registry slot: the configuration stays immutable
         # and is never silently rewritten when services are registered.
@@ -68,7 +70,7 @@ class GinFlow:
         """The service registry used to resolve task services."""
         return self._services
 
-    def register_service(self, name: str, function, idempotent: bool = True) -> None:
+    def register_service(self, name: str, function: Any, idempotent: bool = True) -> None:
         """Register a Python callable as the service ``name``."""
         self._services.register_function(name, function, idempotent=idempotent)
 
@@ -102,7 +104,7 @@ class GinFlow:
         runner: Any = None,
         timeout: float = 120.0,
         **overrides: Any,
-    ):
+    ) -> Any:
         """Execute a parameter ``grid`` and aggregate it into a ``SweepReport``.
 
         ``workflow`` is either a fixed workflow (object/JSON) or a factory
@@ -157,7 +159,9 @@ class GinFlow:
 )
 def _centralized_runtime(workflow: Workflow, config: GinFlowConfig, timeout: float | None = None) -> RunReport:
     """Run ``workflow`` on a single centralised HOCL interpreter."""
-    executor = CentralizedExecutor(registry=config.build_registry())
+    executor = CentralizedExecutor(
+        registry=config.build_registry(), reduction=config.reduction_policy()
+    )
     outcome = executor.execute(workflow)
     exit_tasks = set(workflow.exit_tasks())
     report = RunReport(
@@ -197,4 +201,6 @@ def _centralized_runtime(workflow: Workflow, config: GinFlowConfig, timeout: flo
     )
     report.extra["invocations"] = outcome.invocations
     report.extra["rule_fires"] = dict(outcome.report.rule_fires)
+    report.extra["reduction"] = config.reduction
+    report.extra["batches"] = outcome.report.batches
     return report

@@ -1,0 +1,53 @@
+"""Built-in reduction strategies behind the ``--reduction`` knob.
+
+Each backend resolves a :class:`~repro.hocl.parallel.ReductionPolicy` from a
+:class:`~repro.runtime.config.GinFlowConfig`; the runtimes turn the policy
+into engine options (``batch``) and, when the policy is parallel, a shared
+:class:`~repro.hocl.parallel.ParallelReducer` pool.
+
+The policies themselves live in :mod:`repro.hocl.parallel`
+(:data:`~repro.hocl.parallel.BUILTIN_POLICIES`) so the chemistry layer can be
+used without any runtime import; this module only *registers* them so
+configuration by name, CLI choices (``ginflow backends``) and third-party
+extensions all go through the one registry.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.hocl.parallel import BUILTIN_POLICIES, ReductionPolicy
+
+from .backends import register_reduction
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .config import GinFlowConfig
+
+__all__ = ["serial_reduction", "batch_reduction", "parallel_reduction"]
+
+
+@register_reduction(
+    "serial",
+    capabilities={"batch": False, "parallel": False, "trace_identical": True},
+)
+def serial_reduction(config: "GinFlowConfig | None" = None) -> ReductionPolicy:
+    """One reaction per pass, first match fires — the reference semantics."""
+    return BUILTIN_POLICIES["serial"]
+
+
+@register_reduction(
+    "batch",
+    capabilities={"batch": True, "parallel": False, "trace_identical": False},
+)
+def batch_reduction(config: "GinFlowConfig | None" = None) -> ReductionPolicy:
+    """Apply every disjoint applicable match per pass (same final solution)."""
+    return BUILTIN_POLICIES["batch"]
+
+
+@register_reduction(
+    "parallel",
+    capabilities={"batch": True, "parallel": True, "trace_identical": False},
+)
+def parallel_reduction(config: "GinFlowConfig | None" = None) -> ReductionPolicy:
+    """Batched passes plus concurrent reduction of independent shards."""
+    return BUILTIN_POLICIES["parallel"]

@@ -34,6 +34,7 @@ The flow of one run:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any, Callable
 
 from repro.agents import AgentCore
 from repro.hoclflow.translator import encode_workflow
@@ -60,7 +61,7 @@ class _SimAgent(AgentHost):
 class SimulatedRun:
     """One simulated distributed execution of a workflow."""
 
-    def __init__(self, workflow: Workflow, config: GinFlowConfig | None = None):
+    def __init__(self, workflow: Workflow, config: GinFlowConfig | None = None) -> None:
         self.workflow = workflow
         self.config = config or GinFlowConfig()
         self.report = RunReport()
@@ -99,11 +100,15 @@ class SimulatedRun:
         agent_names = encoding.task_names()
         plan = executor.plan(cluster, agent_names)
 
+        # Virtual time is single-threaded by construction, so a parallel
+        # policy degrades to its batch component here: same final solutions,
+        # no pool.  (Simulated timings model the *platform*, not host CPU.)
+        policy = config.reduction_policy()
         for name in agent_names:
             agent = engine.add_host(
                 _SimAgent(
                     encoding=encoding.tasks[name],
-                    core=AgentCore(encoding.tasks[name]),
+                    core=AgentCore(encoding.tasks[name], reduction=policy),
                     node=plan.placement.get(name, "unknown"),
                     serial=SerialQueue(self._sim, name=f"agent-{name}"),
                 )
@@ -126,13 +131,13 @@ class SimulatedRun:
         return self._build_report(plan.deployment_time)
 
     # ------------------------------------------------------------ callbacks
-    def _make_boot_callback(self, agent: _SimAgent):
+    def _make_boot_callback(self, agent: _SimAgent) -> Callable[[], None]:
         def boot() -> None:
             self._handle(agent, lambda: self._engine.boot(agent))
 
         return boot
 
-    def _make_message_handler(self, agent: _SimAgent):
+    def _make_message_handler(self, agent: _SimAgent) -> Callable[[Message], None]:
         def on_message(message: Message) -> None:
             if not agent.alive:
                 # The agent is down: a persistent broker keeps the message in
@@ -145,7 +150,9 @@ class SimulatedRun:
         return on_message
 
     # ------------------------------------------------------------- handling
-    def _handle(self, agent: _SimAgent, stimulus, extra_cost: float = 0.0) -> None:
+    def _handle(
+        self, agent: _SimAgent, stimulus: Callable[[], Any], extra_cost: float = 0.0
+    ) -> None:
         """Run one agent stimulus and dispatch its actions after the modelled cost."""
         if not agent.alive:
             return
@@ -157,7 +164,7 @@ class SimulatedRun:
         done = agent.serial.submit(cost)
         done.add_callback(lambda _event: self._dispatch(agent, actions, incarnation))
 
-    def _dispatch(self, agent: _SimAgent, actions, incarnation: int) -> None:
+    def _dispatch(self, agent: _SimAgent, actions: Any, incarnation: int) -> None:
         if not agent.alive or agent.incarnation != incarnation:
             return
         self._engine.dispatch(agent, actions)

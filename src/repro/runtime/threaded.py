@@ -52,7 +52,7 @@ class _ThreadedAgent(AgentHost):
 class ThreadedRun:
     """One threaded execution of a workflow."""
 
-    def __init__(self, workflow: Workflow, config: GinFlowConfig | None = None):
+    def __init__(self, workflow: Workflow, config: GinFlowConfig | None = None) -> None:
         self.workflow = workflow
         self.config = config or GinFlowConfig(mode="threaded")
         self._engine: EnactmentEngine | None = None
@@ -78,8 +78,19 @@ class ThreadedRun:
         )
         self._engine = engine
 
+        # One shared reduction pool for every agent (None when the policy is
+        # not parallel).  AgentCore.run blocks the calling agent thread, so
+        # per-agent stimuli stay serialized; the pool only bounds how many
+        # CPU-heavy reductions run at once across agents.
+        policy = self.config.reduction_policy()
+        reducer = policy.make_reducer()
         for name, task_encoding in encoding.tasks.items():
-            agent = engine.add_host(_ThreadedAgent(encoding=task_encoding, core=AgentCore(task_encoding)))
+            agent = engine.add_host(
+                _ThreadedAgent(
+                    encoding=task_encoding,
+                    core=AgentCore(task_encoding, reduction=policy, reducer=reducer),
+                )
+            )
             broker.subscribe(agent_topic(name), agent.inbox.put)
         engine.subscribe_status()
 
@@ -97,6 +108,8 @@ class ThreadedRun:
         for agent in engine.hosts.values():
             if agent.thread is not None:
                 agent.thread.join(timeout=2.0)
+        if reducer is not None:
+            reducer.shutdown()
         elapsed = time.monotonic() - start
         return self._build_report(elapsed, timed_out=not completed)
 

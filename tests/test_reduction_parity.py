@@ -219,3 +219,101 @@ class TestDataLayerCaches:
         assert first == Multiset([2, 1]).content_hash()  # order-insensitive
         solution.add(3)
         assert solution.content_hash() != first
+
+
+# --------------------------------------------------------------------------
+# Strategy parity: serial / batch / parallel reduction
+# --------------------------------------------------------------------------
+
+from repro.executors.centralized import CentralizedExecutor  # noqa: E402
+from repro.hocl import ReductionReport  # noqa: E402
+from repro.runtime import GinFlow  # noqa: E402
+from repro.scenarios import available_scenarios, build_scenario  # noqa: E402
+
+_FAMILIES = available_scenarios()
+
+
+def _centralized_outcome(workflow, reduction: str):
+    outcome = CentralizedExecutor(reduction=reduction).execute(workflow)
+    assert outcome.report.inert
+    return outcome
+
+
+class TestStrategyParity:
+    """The batch and parallel strategies must be content-equivalent to serial.
+
+    Parity is defined on *content*, not on trace order: identical final
+    solution hash, identical reaction multiset (``rule_fires``), identical
+    per-task results — while ``history`` may interleave differently and the
+    batched ``match_attempts`` may only shrink.
+    """
+
+    @pytest.mark.parametrize("family", _FAMILIES)
+    def test_centralized_strategies_agree(self, family):
+        def fresh():
+            return build_scenario(f"{family}:size=12,seed=1")
+
+        serial = _centralized_outcome(fresh(), "serial")
+        for strategy in ("batch", "parallel"):
+            other = _centralized_outcome(fresh(), strategy)
+            assert other.solution.content_hash() == serial.solution.content_hash()
+            assert other.report.rule_fires == serial.report.rule_fires
+            assert other.report.reactions == serial.report.reactions
+            assert other.results == serial.results
+            assert other.errors == serial.errors
+            assert other.invocations == serial.invocations
+            assert other.report.batches >= 1
+            if strategy == "batch":
+                assert other.report.match_attempts <= serial.report.match_attempts
+
+    @pytest.mark.parametrize("mode", ["threaded", "asyncio"])
+    @pytest.mark.parametrize("family", _FAMILIES)
+    def test_runtime_strategies_agree(self, family, mode):
+        def run(reduction: str):
+            report = GinFlow().run(
+                build_scenario(f"{family}:size=10,seed=1"),
+                mode=mode,
+                reduction=reduction,
+                timeout=60.0,
+            )
+            assert report.succeeded and not report.timed_out
+            return report
+
+        serial = run("serial")
+        for strategy in ("batch", "parallel"):
+            other = run(strategy)
+            assert other.results == serial.results
+            assert other.extra.get("rule_fires") == serial.extra.get("rule_fires")
+
+    def test_audit_clean_under_parallel_reduction(self):
+        from repro.analysis import Severity, audit_all_scenarios
+
+        report = audit_all_scenarios(size=10, reduction="parallel")
+        errors = [f for f in report if f.severity is Severity.ERROR]
+        assert not errors, [f.message for f in errors]
+
+
+class TestReportMergeAccounting:
+    """`ReductionReport.merge` must add keys absent on either side."""
+
+    def test_merge_adds_absent_timing_and_rule_keys(self):
+        left = ReductionReport(reactions=1, timings={"match": 1.0}, rule_fires={"a": 1}, batches=2)
+        right = ReductionReport(
+            reactions=3,
+            timings={"match": 0.5, "rewrite": 0.25},
+            rule_fires={"b": 3},
+            batches=1,
+        )
+        left.merge(right)
+        assert left.timings == {"match": 1.5, "rewrite": 0.25}
+        assert left.rule_fires == {"a": 1, "b": 3}
+        assert left.reactions == 4
+        assert left.batches == 3
+        assert sum(left.rule_fires.values()) == left.reactions
+
+    def test_merge_into_empty_report(self):
+        merged = ReductionReport()
+        merged.merge(ReductionReport(reactions=2, rule_fires={"r": 2}, timings={"index": 0.1}))
+        assert merged.rule_fires == {"r": 2}
+        assert merged.timings["index"] == pytest.approx(0.1)
+        assert sum(merged.rule_fires.values()) == merged.reactions
