@@ -21,8 +21,16 @@ against the committed ``BENCH_reduction.json``:
   as the serial engine, and its ``match_attempts`` must not exceed the
   serial-incremental count on any gated scenario (batching may only shrink
   the match work, never add to it).  When the committed artifact carries
-  per-mode rows (schema 3), the batch wall is gated against its committed
-  value under the same calibration and tolerance.
+  per-mode rows (schema 3+), the batch wall is gated against its committed
+  value under the same calibration and tolerance;
+* **rewrite-seconds drift** — when the committed batch row carries a timing
+  split (schema 3+), the time the batch run spends rewriting
+  (``rewrite`` + ``patch`` seconds — rebuild expansion plus in-place delta
+  application) must not exceed the committed split under the same
+  calibration, tolerance and slack.  This catches the failure the wall gate
+  can absorb: a rule silently losing its delta form falls back to the
+  quadratic rebuild path, which on a scaled-down scenario moves the rewrite
+  share far more than the total wall.
 
 Gating several structurally distinct scenarios means a data-layer change
 that only bites wide fan-ins (cybershake) or fragmented independent regions
@@ -136,6 +144,22 @@ def check_scenario(scenario: str, baseline: dict, runs: int, tolerance: float, s
                 f"calibration x{calibration:.2f} + {slack}s slack (budget {batch_budget:.3f}s)"
             )
             passed = False
+        committed_timings = batch_baseline.get("timings")
+        if committed_timings is not None:
+            # rewrite-seconds drift gate: rebuild expansion + delta patching
+            # must stay within the committed split — a rule losing its delta
+            # form shows up here long before it moves the total wall.
+            committed_rewrite = committed_timings.get("rewrite", 0.0) + committed_timings.get("patch", 0.0)
+            measured_rewrite = batch_report.timings.get("rewrite", 0.0) + batch_report.timings.get("patch", 0.0)
+            rewrite_budget = committed_rewrite * calibration * (1.0 + tolerance) + max(0.0, slack)
+            if measured_rewrite > rewrite_budget:
+                print(
+                    f"FAIL {scenario}: batch rewrite+patch seconds {measured_rewrite:.3f}s "
+                    f"exceed the committed {committed_rewrite:.3f}s by more than "
+                    f"{tolerance:.0%} after calibration x{calibration:.2f} + {slack}s "
+                    f"slack (budget {rewrite_budget:.3f}s) — did a rule lose its delta form?"
+                )
+                passed = False
     if passed:
         print(
             f"OK {scenario}: batch parity holds — wall {batch_wall:.3f}s, "

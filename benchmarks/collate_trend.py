@@ -10,8 +10,11 @@ into one per-scenario trend table so that drift becomes visible:
 
 * one row per (commit, scenario, mode): reactions, match_attempts, wall
   seconds per reduction strategy (``serial``/``batch``/``parallel`` —
-  schema-2 artifacts contribute a single ``serial`` row), plus the naive
-  wall and wall-clock speedup on the serial row;
+  schema-2 artifacts contribute a single ``serial`` row), the
+  match/rewrite/patch/index split of the wall (schema-4 rows; older
+  artifacts show ``-`` for the keys they lack, e.g. ``patch`` before the
+  delta path existed), plus the naive wall and wall-clock speedup on the
+  serial row;
 * a ``drift`` column: the wall relative to the *first* (oldest) collated
   commit of that (scenario, mode) — the number the 20%-per-PR gate cannot
   see;
@@ -50,10 +53,19 @@ _COLUMNS = (
     "reactions",
     "match_attempts",
     "wall_seconds",
+    "match_seconds",
+    "rewrite_seconds",
+    "patch_seconds",
+    "index_seconds",
     "naive_wall_seconds",
     "speedup",
     "drift",
 )
+
+#: ``ReductionReport.timings`` keys surfaced as trend columns.  Schema-3
+#: artifacts lack ``patch`` (pre-delta engines), schema-2 rows lack the
+#: whole ``timings`` object; missing keys render as ``-``.
+_TIMING_KEYS = ("match", "rewrite", "patch", "index")
 
 
 def _label(path: Path) -> str:
@@ -99,6 +111,7 @@ def load_rows(path: Path) -> Iterator[dict[str, Any]]:
         modes = row.get("modes") or {"serial": row.get("incremental", {})}
         for mode, measured in sorted(modes.items()):
             serial_row = mode == "serial"
+            timings = measured.get("timings") or {}
             yield {
                 "commit": _label(path),
                 "scenario": scenario,
@@ -106,6 +119,7 @@ def load_rows(path: Path) -> Iterator[dict[str, Any]]:
                 "reactions": row.get("reactions"),
                 "match_attempts": measured.get("match_attempts"),
                 "wall_seconds": measured.get("wall_seconds"),
+                **{f"{key}_seconds": timings.get(key) for key in _TIMING_KEYS},
                 "naive_wall_seconds": naive.get("wall_seconds") if serial_row else None,
                 "speedup": speedup.get("wall_clock") if serial_row else None,
             }

@@ -31,6 +31,8 @@ from typing import Callable
 from repro.hocl import (
     BindingView,
     Omega,
+    PatchRemove,
+    RewriteDelta,
     Rule,
     SolutionPattern,
     SolutionTemplate,
@@ -85,6 +87,9 @@ def _make_local_gw_call(emit: ActionSink) -> Rule:
         ],
         one_shot=True,
         effect=effect,
+        # Delta form: SRC/SRV stay in place, PAR is consumed, the INVOKING
+        # marker is the only new atom.
+        delta=RewriteDelta(consume=(2,), produce=(kw.INVOKING_SYM,)),
     )
 
 
@@ -112,6 +117,9 @@ def _make_local_gw_pass(emit: ActionSink) -> Rule:
         condition=condition,
         one_shot=False,
         effect=effect,
+        # Delta form: RES stays untouched; the served destination is dropped
+        # from the kept DST body in place.
+        delta=RewriteDelta(ops=(PatchRemove(at=1, items=(Ref("tj"),)),)),
     )
 
 

@@ -31,10 +31,12 @@ from .atoms import (
     from_atom,
     to_atom,
 )
+from .deltas import AppliedDelta, DeltaOp, PatchAdd, PatchRemove, RewriteDelta
 from .engine import ReductionEngine, ReductionReport, is_inert, reduce_solution
 from .parallel import ParallelReducer, ReductionPolicy, reduce_sharded, resolve_policy
 from .errors import (
     AtomError,
+    DeltaError,
     ExternalFunctionError,
     HOCLError,
     MatchError,
@@ -114,6 +116,12 @@ __all__ = [
     "replace",
     "replace_one",
     "with_inject",
+    # rewrite deltas
+    "RewriteDelta",
+    "DeltaOp",
+    "PatchAdd",
+    "PatchRemove",
+    "AppliedDelta",
     # matching / engine
     "Match",
     "find_matches",
@@ -141,6 +149,7 @@ __all__ = [
     "MatchError",
     "RuleError",
     "ReductionError",
+    "DeltaError",
     "ExternalFunctionError",
     "ParseError",
 ]

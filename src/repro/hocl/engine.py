@@ -58,7 +58,14 @@ __all__ = ["ReductionReport", "ReactionRecord", "ReductionEngine", "reduce_solut
 
 @dataclass
 class ReactionRecord:
-    """One rule firing, as recorded in a :class:`ReductionReport`."""
+    """One rule firing, as recorded in a :class:`ReductionReport`.
+
+    ``consumed`` counts the matched atoms and ``produced`` the atoms the
+    firing left behind — products on the rebuild path, kept anchors plus
+    ``produce`` expansions on the delta path.  A delta rule whose rebuild
+    products list the kept fields first (the convention every workflow rule
+    follows) records identical numbers on both paths.
+    """
 
     rule: str
     depth: int
@@ -86,10 +93,12 @@ class ReductionReport:
         produced), useful for debugging and for the execution traces.
     timings:
         Wall-clock seconds spent per reduction phase: ``"match"`` (searching
-        for applicable rules), ``"rewrite"`` (expanding rule products and
-        firing effects) and ``"index"`` (mutating the multiset — removals,
-        insertions and the index maintenance they imply).  Indicative, not
-        deterministic; used to diagnose where a perf regression lives.
+        for applicable rules), ``"rewrite"`` (expanding full rebuild
+        products), ``"patch"`` (applying in-place rewrite deltas, including
+        the nested-solution edits they perform) and ``"index"`` (mutating
+        the top-level multiset — removals, insertions and the index
+        maintenance they imply).  Indicative, not deterministic; used to
+        diagnose where a perf regression lives.
     rule_fires:
         Number of firings per rule name, aggregated across the whole
         reduction (and across merged reports).  ``sum(rule_fires.values())``
@@ -100,6 +109,11 @@ class ReductionReport:
         (``ReductionEngine(batch=True)``).  Zero under the serial engine;
         ``batches <= reactions`` always, and the ratio measures how much
         per-level work the batching amortised.
+    patched:
+        Number of reactions applied through the in-place delta path
+        (:class:`~repro.hocl.deltas.RewriteDelta`) rather than by rebuilding
+        products; ``patched <= reactions`` always, and the ratio measures
+        how much of the rewrite work the deltas absorbed.
     """
 
     reactions: int = 0
@@ -107,10 +121,11 @@ class ReductionReport:
     inert: bool = True
     history: list[ReactionRecord] = field(default_factory=list)
     timings: dict[str, float] = field(
-        default_factory=lambda: {"match": 0.0, "rewrite": 0.0, "index": 0.0}
+        default_factory=lambda: {"match": 0.0, "rewrite": 0.0, "patch": 0.0, "index": 0.0}
     )
     rule_fires: dict[str, int] = field(default_factory=dict)
     batches: int = 0
+    patched: int = 0
 
     def merge(self, other: "ReductionReport") -> None:
         """Accumulate ``other`` into this report.
@@ -126,6 +141,7 @@ class ReductionReport:
         self.inert = self.inert and other.inert
         self.history.extend(other.history)
         self.batches += other.batches
+        self.patched += other.patched
         for phase, seconds in other.timings.items():
             self.timings[phase] = self.timings.get(phase, 0.0) + seconds
         for name, fires in other.rule_fires.items():
@@ -236,6 +252,17 @@ class ReductionEngine:
         engine's, because several same-level reactions happen before nested
         solutions are re-descended.  ``ReductionReport.batches`` counts the
         applied batches.
+    delta:
+        When ``True`` (the default), rules that carry a
+        :class:`~repro.hocl.deltas.RewriteDelta` fire through it: matched
+        atoms stay in place (minus the delta's consume set) and the delta's
+        patches edit their nested solutions under copy-on-write, instead of
+        removing everything matched and rebuilding products.  ``False``
+        forces the classic rebuild path for every rule — the reference
+        semantics the delta-vs-rebuild parity harness compares against.
+        Both paths produce structurally identical final solutions and the
+        same ``rule_fires``; ``ReductionReport.patched`` counts the
+        reactions the delta path absorbed.
     """
 
     def __init__(
@@ -245,12 +272,14 @@ class ReductionEngine:
         observer: ReactionObserver | None = None,
         incremental: bool = True,
         batch: bool = False,
+        delta: bool = True,
     ):
         self.externals = externals if externals is not None else default_registry()
         self.max_steps = int(max_steps)
         self.observer = observer
         self.incremental = bool(incremental)
         self.batch = bool(batch)
+        self.delta = bool(delta)
         #: per-solution frontier states of the batched engine, keyed by
         #: ``id(solution)``; the stored solution reference both keeps the id
         #: stable and detects a recycled id.
@@ -473,8 +502,15 @@ class ReductionEngine:
         enumeration never goes stale mid-flight.  Products join the *next*
         frontier; a produced rule invalidates the whole frontier, since a
         new rule can match atoms no pass needed to revisit.
+
+        The claim map holds strong references, not bare ids: a consumed atom
+        may otherwise be freed mid-pass and a *product* allocated at the
+        recycled address, aliasing the dead claim and silently excluding the
+        product from the rest of the pass (heap-layout-dependent
+        ``match_attempts``).  Kept delta anchors are released from the map
+        once their reaction fires — they play the role of fresh products.
         """
-        claimed: set[int] = set()
+        claimed: dict[int, object] = {}
 
         def is_claimed(atom: object) -> bool:
             return id(atom) in claimed
@@ -555,17 +591,30 @@ class ReductionEngine:
                 if report.reactions >= self.max_steps:
                     report.timings["match"] += perf_counter() - started
                     return applied
-                claimed.update(id(atom) for atom in match.consumed)
-                if rule.one_shot:
-                    claimed.add(id(rule))
-                report.timings["match"] += perf_counter() - started
-                products = self._apply(rule, match, solution, depth, report)
-                applied += 1
                 for atom in match.consumed:
+                    claimed[id(atom)] = atom
+                if rule.one_shot:
+                    claimed[id(rule)] = rule
+                report.timings["match"] += perf_counter() - started
+                removed, dirty, kept = self._apply(rule, match, solution, depth, report)
+                applied += 1
+                for atom in removed:
                     state.forget(atom)
                 if rule.one_shot:
                     state.forget(rule)
-                for atom in products:
+                if kept:
+                    # delta path: the kept-and-repositioned anchors now play
+                    # the role of fresh rebuild products — matchable again
+                    # within this pass (unclaimed), but never as this pass's
+                    # frontier leads (their pass-start entries are stale).
+                    kept_ids = {id(atom) for atom in kept}
+                    for kept_id in kept_ids:
+                        claimed.pop(kept_id, None)
+                    if dirty_entries is not None:
+                        dirty_entries = [
+                            entry for entry in dirty_entries if id(entry.atom) not in kept_ids
+                        ]
+                for atom in dirty:
                     state.mark_next(atom)
                     if atom.kind == "rule":
                         rescan = True
@@ -609,34 +658,74 @@ class ReductionEngine:
 
     def _apply(
         self, rule: Rule, match: Match, solution: Multiset, depth: int, report: ReductionReport
-    ) -> list[Atom]:
+    ) -> tuple[list[Atom], list[Atom], list[Atom]]:
+        """Fire ``rule`` on ``match``; returns ``(removed, dirty, kept)``.
+
+        ``removed`` lists the top-level atoms the reaction took out of the
+        solution and ``dirty`` the atoms it left needing another look —
+        inserted products plus, on the delta path, every kept matched atom.
+        ``kept`` is the delta path's kept-and-repositioned subset of
+        ``dirty`` (empty on the rebuild path): the batched engine must treat
+        those exactly like fresh products — release them from the pass's
+        claim set and drop them from the pass's remaining frontier leads —
+        so both paths enumerate identically.
+        """
         started = perf_counter()
-        try:
-            products = rule.produce(match, self.externals)
-        except Exception as exc:  # noqa: BLE001 - context added
-            raise ReductionError(f"rule {rule.name!r} failed to produce its products: {exc}") from exc
-        produced_at = perf_counter()
-        report.timings["rewrite"] += produced_at - started
-        for consumed in match.consumed:
-            solution.remove_identical(consumed)
-        if rule.one_shot:
-            # the rule removes itself once fired (replace-one semantics)
+        delta = rule.delta if self.delta else None
+        if delta is not None:
             try:
-                solution.remove_identical(rule)
-            except KeyError:
-                solution.discard(rule)
-        for atom in products:
-            solution.add(atom)
-        report.timings["index"] += perf_counter() - produced_at
+                applied = delta.apply(match, solution, self.externals)
+            except Exception as exc:  # noqa: BLE001 - context added
+                raise ReductionError(
+                    f"rule {rule.name!r} failed to apply its rewrite delta: {exc}"
+                ) from exc
+            patched_at = perf_counter()
+            report.timings["patch"] += patched_at - started
+            if rule.one_shot:
+                # the rule removes itself once fired (replace-one semantics)
+                try:
+                    solution.remove_identical(rule)
+                except KeyError:
+                    solution.discard(rule)
+            report.timings["index"] += perf_counter() - patched_at
+            report.patched += 1
+            removed = applied.removed
+            kept = applied.kept
+            dirty = kept + applied.added
+        else:
+            try:
+                products = rule.produce(match, self.externals)
+            except Exception as exc:  # noqa: BLE001 - context added
+                raise ReductionError(
+                    f"rule {rule.name!r} failed to produce its products: {exc}"
+                ) from exc
+            produced_at = perf_counter()
+            report.timings["rewrite"] += produced_at - started
+            for consumed in match.consumed:
+                solution.remove_identical(consumed)
+            if rule.one_shot:
+                # the rule removes itself once fired (replace-one semantics)
+                try:
+                    solution.remove_identical(rule)
+                except KeyError:
+                    solution.discard(rule)
+            for atom in products:
+                solution.add(atom)
+            report.timings["index"] += perf_counter() - produced_at
+            removed = list(match.consumed)
+            dirty = products
+            kept = []
         report.reactions += 1
         report.rule_fires[rule.name] = report.rule_fires.get(rule.name, 0) + 1
         report.history.append(
-            ReactionRecord(rule=rule.name, depth=depth, consumed=len(match.consumed), produced=len(products))
+            ReactionRecord(
+                rule=rule.name, depth=depth, consumed=len(match.consumed), produced=len(dirty)
+            )
         )
         rule.fire_effect(match)
         if self.observer is not None:
             self.observer(rule, match, depth)
-        return products
+        return removed, dirty, kept
 
 
 def reduce_solution(

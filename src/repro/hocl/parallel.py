@@ -71,16 +71,23 @@ class ReductionPolicy:
         Executor family of the shard pool: ``"thread"`` (default) or the
         opt-in ``"process"`` (see the module docstring for its pickling
         contract).
+    delta:
+        Whether engines built under this policy apply in-place rewrite
+        deltas when a rule carries one (:class:`ReductionEngine`'s
+        ``delta``, default ``True``).  ``dataclasses.replace(policy,
+        delta=False)`` forces the full-rebuild reference path for parity
+        runs.
     """
 
     name: str
     batch: bool = False
     parallel: bool = False
     pool_kind: str = "thread"
+    delta: bool = True
 
     def engine_options(self) -> dict[str, Any]:
         """Keyword arguments this policy adds to a ``ReductionEngine``."""
-        return {"batch": self.batch}
+        return {"batch": self.batch, "delta": self.delta}
 
     def make_reducer(self, max_workers: int | None = None) -> "ParallelReducer | None":
         """A shard pool under this policy (``None`` when not parallel)."""
@@ -119,8 +126,8 @@ def _default_workers() -> int:
 
 def _reduce_shard_payload(payload: bytes) -> bytes:
     """Process-pool worker: unpickle one shard, reduce it, pickle it back."""
-    shard, batch, max_steps = pickle.loads(payload)
-    engine = ReductionEngine(max_steps=max_steps, incremental=True, batch=batch)
+    shard, batch, delta, max_steps = pickle.loads(payload)
+    engine = ReductionEngine(max_steps=max_steps, incremental=True, batch=batch, delta=delta)
     report = engine.reduce(shard)
     return pickle.dumps((shard, report))
 
@@ -248,7 +255,7 @@ class ParallelReducer:
         fallback: list[tuple[int, Multiset]] = []
         for index, shard in enumerate(shards):
             try:
-                payload = pickle.dumps((shard, probe.batch, probe.max_steps))
+                payload = pickle.dumps((shard, probe.batch, probe.delta, probe.max_steps))
             except Exception:  # noqa: BLE001 - any unpicklable rule/atom/external
                 self.process_fallbacks += 1
                 fallback.append((index, shard))

@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator, Sequence
 
 from .atoms import Atom, from_atom
+from .deltas import RewriteDelta
 from .errors import RuleError
 from .matching import Match, find_first_match, find_matches, find_matches_pinned
 from .multiset import Multiset
@@ -90,6 +91,15 @@ class Rule(Atom):
         Rules with a higher priority are tried first by the engine; used by
         GinFlow to favour adaptation rules over regular progress when both
         are enabled.
+    delta:
+        Optional :class:`~repro.hocl.deltas.RewriteDelta`: the in-place,
+        copy-on-write form of the same reaction.  When present, the engine's
+        default delta path applies it instead of expanding ``products`` —
+        matched atoms stay in the solution (minus ``delta.consume``) and the
+        delta's patches edit their nested solutions directly.  ``products``
+        must still describe the equivalent full rebuild; it remains the
+        reference semantics (``ReductionEngine(delta=False)``) and what the
+        parity harness checks the delta against.
     """
 
     __slots__ = (
@@ -101,6 +111,7 @@ class Rule(Atom):
         "keep_matched",
         "effect",
         "priority",
+        "delta",
         "pattern_index_keys",
         "_index_keys",
     )
@@ -116,11 +127,24 @@ class Rule(Atom):
         keep_matched: bool = False,
         effect: EffectHook | None = None,
         priority: int = 0,
+        delta: RewriteDelta | None = None,
     ):
         if not name:
             raise RuleError("rules require a non-empty name")
         if not patterns:
             raise RuleError(f"rule {name!r} has an empty left-hand side")
+        if delta is not None:
+            if keep_matched:
+                raise RuleError(
+                    f"rule {name!r} mixes keep_matched with a delta; a delta keeps "
+                    "every matched atom not listed in its consume set already"
+                )
+            for index in set(delta.consume) | {op.at for op in delta.ops}:
+                if not 0 <= index < len(patterns):
+                    raise RuleError(
+                        f"rule {name!r} delta addresses pattern {index}, but the "
+                        f"left-hand side has {len(patterns)} patterns"
+                    )
         self.name = name
         self.patterns = tuple(as_pattern(p) for p in patterns)
         self.products = tuple(products)
@@ -129,6 +153,7 @@ class Rule(Atom):
         self.keep_matched = bool(keep_matched)
         self.effect = effect
         self.priority = int(priority)
+        self.delta = delta
         #: Per-pattern multiset index keys, precomputed once (rules are
         #: immutable).  The engine consults them to skip rules that cannot
         #: possibly match — e.g. after a reaction, only rules whose head
@@ -254,6 +279,8 @@ class Rule(Atom):
     def referenced_variables(self) -> set[str]:
         """Variable names the declared products read when the rule fires.
 
+        Covers both product forms: the rebuild templates and, when present,
+        the delta's patches and produce templates.
         :class:`~repro.hocl.templates.Compute` products are opaque and
         contribute nothing here; check :meth:`has_opaque_products` before
         treating the result as exhaustive.
@@ -261,6 +288,8 @@ class Rule(Atom):
         names: set[str] = set()
         for product in self.products:
             names |= template_referenced_names(product)
+        if self.delta is not None:
+            names |= self.delta.referenced_names()
         return names
 
     def has_opaque_products(self) -> bool:

@@ -9,6 +9,10 @@ time (the threaded and asyncio runtimes).
 from __future__ import annotations
 
 import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.simkernel.sim import Simulator
 
 __all__ = ["Clock", "MonotonicClock", "VirtualClock"]
 
@@ -24,7 +28,7 @@ class Clock:
 class VirtualClock(Clock):
     """Reads the simulation kernel's virtual clock."""
 
-    def __init__(self, sim) -> None:
+    def __init__(self, sim: "Simulator") -> None:
         self.sim = sim
 
     def now(self) -> float:

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.agents import Coordinator, SendAdapt, SendResult, StartInvocation, StatusUpdate
 from repro.agents.actions import Action
@@ -41,6 +41,9 @@ from repro.services import InvocationContext, InvocationResult, Service
 from ..results import RunReport
 from .clock import Clock
 from .transport import Transport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import GinFlowConfig
 
 __all__ = ["AgentHost", "PreparedInvocation", "EnactmentEngine"]
 
@@ -111,14 +114,14 @@ class EnactmentEngine:
     def __init__(
         self,
         *,
-        config,
+        config: "GinFlowConfig",
         encoding: WorkflowEncoding,
         clock: Clock,
         transport: Transport,
         invoker: Callable[[AgentHost, PreparedInvocation], None],
         on_complete: Callable[[float], None] | None = None,
         report: RunReport | None = None,
-    ):
+    ) -> None:
         self.config = config
         self.encoding = encoding
         self.clock = clock

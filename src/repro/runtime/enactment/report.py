@@ -9,7 +9,12 @@ figures and the identity fields of its configuration.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..results import RunReport, TaskOutcome
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import EnactmentEngine
 
 __all__ = ["ReportAssembler"]
 
@@ -17,7 +22,7 @@ __all__ = ["ReportAssembler"]
 class ReportAssembler:
     """Builds the run report from an engine's final state."""
 
-    def __init__(self, engine):
+    def __init__(self, engine: "EnactmentEngine") -> None:
         self.engine = engine
 
     def assemble(
