@@ -27,6 +27,12 @@ Usage::
     python benchmarks/collate_trend.py BENCH_reduction-*.json
     python benchmarks/collate_trend.py artifacts/ --scenario montage-100-centralized
     python benchmarks/collate_trend.py artifacts/ --csv trend.csv --json-out trend.json
+    python benchmarks/collate_trend.py artifacts/ --plot trend.svg
+
+``--plot`` renders the trend as a dependency-free SVG (two panels: the wall
+seconds of every collated (scenario, mode) series across commits, and the
+match/rewrite/patch/index split of the heaviest series — the drift the
+per-PR gate tolerance cannot see, as a picture).
 
 Exit status: 0 when at least one artifact was collated, 1 otherwise.
 """
@@ -166,6 +172,115 @@ def format_table(rows: list[dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+# ------------------------------------------------------------------ plotting
+#: Line colors cycled across (scenario, mode) series / timing phases.
+_PALETTE = ("#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+            "#17becf", "#e377c2", "#7f7f7f", "#bcbd22")
+
+
+def _series(rows: list[dict[str, Any]]) -> tuple[list[str], dict[tuple[str, str], dict[str, dict[str, Any]]]]:
+    """Commit order plus one ``{commit: row}`` map per (scenario, mode)."""
+    commits: list[str] = []
+    groups: dict[tuple[str, str], dict[str, dict[str, Any]]] = {}
+    for row in rows:
+        if row["commit"] not in commits:
+            commits.append(row["commit"])
+        if row["wall_seconds"] is not None:
+            groups.setdefault((row["scenario"], row["mode"]), {})[row["commit"]] = row
+    return commits, groups
+
+
+def _panel(
+    parts: list[str],
+    title: str,
+    lines: list[tuple[str, str, list[tuple[int, float]]]],
+    commits: list[str],
+    top: float,
+) -> None:
+    """One plot panel: polylines of (label, color, [(commit_index, value)])."""
+    left, width, height = 60.0, 640.0, 170.0
+    bottom = top + height
+    peak = max((value for _, _, points in lines for _, value in points), default=0.0)
+    peak = peak or 1.0
+    step = width / max(1, len(commits) - 1)
+
+    def x(index: int) -> float:
+        return left + (index * step if len(commits) > 1 else width / 2)
+
+    def y(value: float) -> float:
+        return bottom - value / peak * (height - 10.0)
+
+    parts.append(f'<text x="{left}" y="{top - 8}" class="title">{title}</text>')
+    parts.append(
+        f'<line x1="{left}" y1="{bottom}" x2="{left + width}" y2="{bottom}" class="axis"/>'
+        f'<line x1="{left}" y1="{top}" x2="{left}" y2="{bottom}" class="axis"/>'
+    )
+    parts.append(f'<text x="{left - 6}" y="{top + 10}" class="tick" text-anchor="end">{peak:.3g}s</text>')
+    parts.append(f'<text x="{left - 6}" y="{bottom}" class="tick" text-anchor="end">0</text>')
+    for index, commit in enumerate(commits):
+        parts.append(
+            f'<text x="{x(index):.1f}" y="{bottom + 14}" class="tick" text-anchor="middle">{commit[:7]}</text>'
+        )
+    legend_y = top
+    for label, color, points in lines:
+        coords = " ".join(f"{x(i):.1f},{y(v):.1f}" for i, v in points)
+        parts.append(f'<polyline points="{coords}" fill="none" stroke="{color}" stroke-width="1.5"/>')
+        for i, v in points:
+            parts.append(f'<circle cx="{x(i):.1f}" cy="{y(v):.1f}" r="2.5" fill="{color}"/>')
+        parts.append(
+            f'<rect x="{left + width + 16}" y="{legend_y}" width="10" height="10" fill="{color}"/>'
+            f'<text x="{left + width + 30}" y="{legend_y + 9}" class="tick">{label}</text>'
+        )
+        legend_y += 16
+
+
+def render_plot(rows: list[dict[str, Any]], path: Path) -> None:
+    """Write the trend rows as a two-panel SVG (wall trend + phase split)."""
+    commits, groups = _series(rows)
+    parts = [
+        '<svg xmlns="http://www.w3.org/2000/svg" width="920" height="520" '
+        'viewBox="0 0 920 520" font-family="sans-serif">',
+        "<style>.title{font-size:13px;font-weight:bold}.tick{font-size:10px;fill:#444}"
+        ".axis{stroke:#999;stroke-width:1}</style>",
+        '<rect width="920" height="520" fill="white"/>',
+    ]
+    wall_lines = []
+    for index, (key, series) in enumerate(sorted(groups.items())):
+        points = [
+            (i, series[commit]["wall_seconds"])
+            for i, commit in enumerate(commits)
+            if commit in series
+        ]
+        wall_lines.append((f"{key[0]} [{key[1]}]", _PALETTE[index % len(_PALETTE)], points))
+    _panel(parts, "reduction wall seconds per commit", wall_lines, commits, top=40.0)
+
+    # Phase split of the heaviest series: where the wall actually goes, so a
+    # phase quietly regrowing inside a flat total is still visible.
+    timed = {
+        key: series
+        for key, series in groups.items()
+        if any(row.get(f"{phase}_seconds") is not None for row in series.values() for phase in _TIMING_KEYS)
+    }
+    phase_lines = []
+    subtitle = "phase split (no timing data collated)"
+    if timed:
+        key, series = max(
+            timed.items(), key=lambda item: max(row["wall_seconds"] for row in item[1].values())
+        )
+        subtitle = f"phase split: {key[0]} [{key[1]}]"
+        for index, phase in enumerate(_TIMING_KEYS):
+            points = [
+                (i, series[commit][f"{phase}_seconds"])
+                for i, commit in enumerate(commits)
+                if commit in series and series[commit].get(f"{phase}_seconds") is not None
+            ]
+            if points:
+                phase_lines.append((phase, _PALETTE[index % len(_PALETTE)], points))
+    _panel(parts, subtitle, phase_lines, commits, top=310.0)
+    parts.append("</svg>")
+    path.write_text("\n".join(parts) + "\n")
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument(
@@ -194,6 +309,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--csv", metavar="PATH", help="also write the rows as CSV")
     parser.add_argument("--json-out", metavar="PATH", help="also write the rows as JSON")
+    parser.add_argument(
+        "--plot",
+        metavar="PATH",
+        help="also render the trend as an SVG (wall per series + phase split)",
+    )
     args = parser.parse_args(argv)
 
     files = discover(args.paths)
@@ -216,6 +336,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.json_out:
         Path(args.json_out).write_text(json.dumps({"trend": rows}, indent=2) + "\n")
         print(f"wrote {args.json_out}", file=sys.stderr)
+    if args.plot:
+        render_plot(rows, Path(args.plot))
+        print(f"wrote {args.plot}", file=sys.stderr)
     return 0
 
 

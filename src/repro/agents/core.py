@@ -19,10 +19,13 @@ stand-in for the real decentralised execution.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import TYPE_CHECKING, Any
 
 from repro.hocl import Multiset, ReductionEngine, Symbol, default_registry, to_atom
 from repro.hocl.parallel import resolve_policy
+from repro.obs.logs import get_logger
+from repro.obs.tracer import Tracer, active as active_tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.hocl.parallel import ParallelReducer, ReductionPolicy
@@ -74,6 +77,13 @@ class AgentCore:
         Optional shared :class:`~repro.hocl.parallel.ParallelReducer`: when
         given, each reduction runs on its pool (the caller blocks, so
         per-agent stimuli stay serialized) instead of the calling thread.
+    trace:
+        Optional :class:`~repro.obs.tracer.Tracer`: when active, every
+        stimulus this core handles is recorded as an ``agent.<stimulus>``
+        span on the agent's own track, containing the reduction-phase spans
+        the engine emits (which it receives the same tracer for).  Tracing
+        never changes the chemistry — the actions, counters and solution
+        are identical with and without it.
     """
 
     def __init__(
@@ -82,9 +92,12 @@ class AgentCore:
         max_reduction_steps: int = 10_000,
         reduction: "ReductionPolicy | str | None" = None,
         reducer: "ParallelReducer | None" = None,
+        trace: "Tracer | None" = None,
     ) -> None:
         self.encoding = encoding
         self.name = encoding.name
+        self.trace = active_tracer(trace)
+        self.log = get_logger(f"agents.{self.name}")
         self._pending: list[Action] = []
         self.solution: Multiset = encoding.initial_solution(include_rules=False)
         local_rules = build_local_rules(encoding, self._pending.append)
@@ -105,6 +118,8 @@ class AgentCore:
             externals=externals,
             max_steps=max_reduction_steps,
             incremental=True,
+            trace=self.trace,
+            trace_track=self.name,
             **self.policy.engine_options(),
         )
         self.state = AgentState.IDLE
@@ -167,7 +182,7 @@ class AgentCore:
     def boot(self) -> list[Action]:
         """First reduction after deployment (entry tasks start invoking here)."""
         self.state = AgentState.READY
-        return self._reduce_and_collect()
+        return self._reduce_and_collect("boot")
 
     def receive_result(self, source: str, value: Any) -> list[Action]:
         """Handle a ``RESULT`` message from ``source``.
@@ -192,14 +207,14 @@ class AgentCore:
             body = in_field.elements[1]
             if isinstance(body, Subsolution):
                 body.solution.add(tagged_input(source, value))
-        return self._reduce_and_collect()
+        return self._reduce_and_collect("receive_result")
 
     def receive_adapt(self, count: int = 1) -> list[Action]:
         """Handle an ``ADAPT`` message: inject the marker(s) and re-reduce."""
         for _ in range(max(1, count)):
             self.solution.add(kw.ADAPT_SYM)
         self.adaptations_applied += 1
-        return self._reduce_and_collect()
+        return self._reduce_and_collect("receive_adapt")
 
     def invocation_started(self) -> list[Action]:
         """Record that the runtime actually started the service invocation."""
@@ -210,13 +225,13 @@ class AgentCore:
         """Handle the service result: store it and let ``gw_pass`` send it."""
         self._store_result(to_atom(value))
         self.state = AgentState.COMPLETED
-        return self._reduce_and_collect()
+        return self._reduce_and_collect("invocation_succeeded")
 
     def invocation_failed(self, error: str | None = None) -> list[Action]:
         """Handle a failed invocation: store ``ERROR`` (triggers adaptation)."""
         self._store_result(kw.ERROR_SYM)
         self.state = AgentState.FAILED
-        return self._reduce_and_collect()
+        return self._reduce_and_collect("invocation_failed")
 
     # ------------------------------------------------------------- internals
     def _store_result(self, atom: Any) -> None:
@@ -232,7 +247,9 @@ class AgentCore:
         if isinstance(body, Subsolution):
             body.solution.add(atom)
 
-    def _reduce_and_collect(self) -> list[Action]:
+    def _reduce_and_collect(self, stimulus: str = "stimulus") -> list[Action]:
+        trace = self.trace
+        started = perf_counter() if trace is not None else 0.0
         if self.reducer is not None:
             report = self.reducer.run(self.engine.reduce, self.solution)
         else:
@@ -259,4 +276,21 @@ class AgentCore:
         for action in deduplicated:
             if action.__class__.__name__ == "SendResult":
                 self.results_sent += 1
+        if trace is not None:
+            trace.span(
+                f"agent.{stimulus}",
+                self.name,
+                started,
+                perf_counter(),
+                reactions=report.reactions,
+                match_attempts=report.match_attempts,
+                state=self.state,
+            )
+        self.log.debug(
+            "%s: %d reactions, %d actions, state=%s",
+            stimulus,
+            report.reactions,
+            len(deduplicated),
+            self.state,
+        )
         return deduplicated

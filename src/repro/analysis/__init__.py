@@ -10,7 +10,7 @@ dynamically (holding the artifacts a run produces — fire counters, message
 accounting, timelines, adaptation plans — to the invariants the enactment
 protocol promises).
 
-Six check families (see the modules for the catalog):
+Seven check families (see the modules for the catalog):
 
 * rule checks (:mod:`repro.analysis.rule_checks`) — unbound product or
   condition variables, structurally dead index keys, shadowed rules,
@@ -28,7 +28,11 @@ Six check families (see the modules for the catalog):
   terminal states, STATUS timeline ordering;
 * plan checks (:mod:`repro.analysis.plan_checks`) — ADAPT-marker
   reachability per adaptation plan, trigger/task existence, live vs
-  log-replay state parity.
+  log-replay state parity;
+* obs checks (:mod:`repro.analysis.obs_checks`) — recorded-trace
+  invariants: spans closed and well-nested, broker publish/deliver events
+  matching the transport counters, reduction-phase span totals reconciling
+  with the report's phase timings.
 
 Checks are registered objects (the same idiom as backends and scenarios);
 :func:`register_check` accepts third-party checks, and the drivers pick
@@ -96,7 +100,14 @@ def ensure_builtin_checks() -> None:
             return
         import importlib
 
-        for module in ("rule_checks", "workflow_checks", "scenario_checks", "trace_checks", "plan_checks"):
+        for module in (
+            "rule_checks",
+            "workflow_checks",
+            "scenario_checks",
+            "trace_checks",
+            "plan_checks",
+            "obs_checks",
+        ):
             importlib.import_module(f"repro.analysis.{module}")
         _builtins_loaded = True
 

@@ -35,9 +35,10 @@ A check function receives the context object of its kind (``"rule"`` →
 :class:`~repro.analysis.scenario_checks.ScenarioContext`, ``"trace"`` →
 :class:`~repro.analysis.trace_checks.TraceScope`, ``"run"`` →
 :class:`~repro.analysis.trace_checks.RunScope`, ``"plan"`` →
-:class:`~repro.analysis.plan_checks.PlanScope`) and returns an iterable of
+:class:`~repro.analysis.plan_checks.PlanScope`, ``"obs"`` →
+:class:`~repro.analysis.obs_checks.ObsScope`) and returns an iterable of
 :class:`~repro.analysis.findings.Finding`.  The first three kinds are
-static (``ginflow lint``); the last three are dynamic, consuming run
+static (``ginflow lint``); the others are dynamic, consuming run
 artifacts (``ginflow audit``).
 """
 
@@ -60,9 +61,9 @@ __all__ = [
 ]
 
 #: The context kinds a check can attach to.  ``rule``/``workflow``/``scenario``
-#: are the static kinds (``ginflow lint``); ``trace``/``run``/``plan`` are the
-#: dynamic kinds consuming run artifacts (``ginflow audit``).
-CHECK_KINDS = ("rule", "workflow", "scenario", "trace", "run", "plan")
+#: are the static kinds (``ginflow lint``); ``trace``/``run``/``plan``/``obs``
+#: are the dynamic kinds consuming run artifacts (``ginflow audit``).
+CHECK_KINDS = ("rule", "workflow", "scenario", "trace", "run", "plan", "obs")
 
 #: A check: context object in, findings out.
 CheckFunction = Callable[[Any], Iterable[Finding]]

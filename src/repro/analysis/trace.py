@@ -31,6 +31,7 @@ from repro.scenarios.registry import available_scenarios, get_scenario, parse_sc
 from repro.workflow.dag import Workflow
 
 from .findings import AnalysisReport, Finding, Severity
+from .obs_checks import ObsScope
 from .plan_checks import PlanScope
 from .registry import checks_for
 from .trace_checks import RunScope, TraceScope, conditional_rule_names
@@ -163,12 +164,15 @@ def audit_workflow(
     """Enact ``workflow`` ``repeats`` times and audit every artifact.
 
     Composition: plan checks on the encoding, run-invariant checks on each
-    run (seeds ``seed .. seed+repeats-1``), then one coverage pass over the
-    fire counters merged across all runs — a rule only has to fire in *one*
-    repeat (on *one* agent) to be covered.  A run that does not succeed is
-    itself a finding, and disables the coverage pass (a cut-off run proves
-    nothing about which rules could have fired).
+    run (seeds ``seed .. seed+repeats-1``), observability checks on each
+    run's recorded trace (every audited run records spans and events through
+    a per-repeat :class:`~repro.obs.RecordingTracer`), then one coverage
+    pass over the fire counters merged across all runs — a rule only has to
+    fire in *one* repeat (on *one* agent) to be covered.  A run that does
+    not succeed is itself a finding, and disables the coverage pass (a
+    cut-off run proves nothing about which rules could have fired).
     """
+    from repro.obs import MetricsRegistry, Observability, RecordingTracer
     from repro.runtime import GinFlow, GinFlowConfig
 
     where = label or f"workflow {workflow.name!r}"
@@ -180,11 +184,23 @@ def audit_workflow(
     runs: list[RunReport] = []
     all_succeeded = True
     for repeat in range(max(1, repeats)):
-        config = GinFlowConfig(mode=mode, nodes=nodes, seed=seed + repeat, reduction=reduction)
+        # a fresh tracer per repeat: the obs checks reason about ONE run's
+        # spans against that run's report
+        obs = Observability(tracer=RecordingTracer(), metrics=MetricsRegistry())
+        config = GinFlowConfig(
+            mode=mode, nodes=nodes, seed=seed + repeat, reduction=reduction, obs=obs
+        )
         run = GinFlow(config).run(workflow, timeout=timeout, **overrides)
         runs.append(run)
         run_label = f"{where}: run {repeat + 1}/{max(1, repeats)} ({mode}, seed={seed + repeat})"
         report.merge(audit_run(run, exit_tasks=exit_tasks, label=run_label))
+        scope = ObsScope(
+            label=run_label,
+            spans=tuple(obs.tracer.spans),
+            events=tuple(obs.tracer.events),
+            report=run,
+        )
+        report.merge(_run_checks("obs", scope))
         if not run.succeeded or run.timed_out:
             all_succeeded = False
             reason = "timed out" if run.timed_out else "did not succeed"

@@ -4,6 +4,10 @@ Usage::
 
     ginflow run workflow.json --mode simulated --executor mesos --broker kafka --nodes 10
     ginflow run --scenario cybershake:size=500,seed=3 --mode asyncio
+    ginflow run --scenario montage:size=100 --trace run.trace.jsonl
+    ginflow run --scenario montage:size=100 --trace out.json --trace-format chrome
+    ginflow trace summarize run.trace.jsonl --top 10
+    ginflow trace convert run.trace.jsonl out.json --to chrome
     ginflow sweep workflow.json --param nodes=5,10,15 --param broker=activemq,kafka --repeats 3
     ginflow sweep --scenario epigenomics --param size=50,200 --repeats 3
     ginflow scenarios
@@ -35,6 +39,10 @@ import sys
 from typing import Any, Sequence
 
 from repro.hoclflow import encode_workflow
+from repro.obs import JsonlTracer, MetricsRegistry, Observability, RecordingTracer
+from repro.obs.export import read_trace, write_trace
+from repro.obs.logs import configure_logging
+from repro.obs.summarize import format_summary, summarize
 from repro.runtime import GinFlow, GinFlowConfig
 from repro.runtime.backends import (
     KINDS,
@@ -89,17 +97,39 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="root random seed")
 
 
+def _add_trace_arguments(parser: argparse.ArgumentParser) -> None:
+    """Tracing flags shared by ``run`` and ``sweep``."""
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="record a trace of the run to PATH (spans and events from every layer)",
+    )
+    parser.add_argument(
+        "--trace-format",
+        choices=["jsonl", "chrome"],
+        default="jsonl",
+        help="trace file format: streaming JSONL (default) or the Chrome "
+        "trace-event format (open in Perfetto; one track per agent)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser of the ``ginflow`` command."""
     parser = argparse.ArgumentParser(
         prog="ginflow",
         description="GinFlow: decentralised adaptive workflow execution manager (reproduction)",
     )
+    parser.add_argument(
+        "--log-level",
+        metavar="LEVEL",
+        help="enable library logging to stderr at this level (debug, info, warning, ...)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     run_parser = subparsers.add_parser("run", help="execute a JSON workflow or a registered scenario")
     _add_workflow_source(run_parser)
     _add_config_arguments(run_parser)
+    _add_trace_arguments(run_parser)
     run_parser.add_argument("--failure-probability", type=float, default=0.0, help="failure injection probability p")
     run_parser.add_argument("--failure-delay", type=float, default=0.0, help="failure injection delay T (seconds)")
     run_parser.add_argument("--json", action="store_true", help="print the report summary as JSON")
@@ -107,6 +137,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser = subparsers.add_parser("sweep", help="execute a workflow over a parameter grid")
     _add_workflow_source(sweep_parser)
     _add_config_arguments(sweep_parser)
+    _add_trace_arguments(sweep_parser)
     sweep_parser.add_argument(
         "--param",
         action="append",
@@ -196,13 +227,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--json-out", metavar="PATH", help="also write the JSON findings report to PATH"
     )
 
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="inspect or convert a recorded trace file",
+        description="Work with traces recorded by 'ginflow run|sweep --trace': "
+        "'summarize' prints per-phase, per-agent and per-rule rollups plus the "
+        "top spans by self-time; 'convert' translates between the streaming "
+        "JSONL format and the Chrome trace-event format (loadable in Perfetto).",
+    )
+    trace_subparsers = trace_parser.add_subparsers(dest="trace_command", required=True)
+    summarize_parser = trace_subparsers.add_parser("summarize", help="print rollups of a trace file")
+    summarize_parser.add_argument("trace_path", metavar="PATH", help="trace file (JSONL or Chrome format)")
+    summarize_parser.add_argument("--top", type=int, default=10, help="number of top spans to show")
+    summarize_parser.add_argument("--json", action="store_true", help="print the summary as JSON")
+    convert_parser = trace_subparsers.add_parser("convert", help="convert a trace between formats")
+    convert_parser.add_argument("src", metavar="SRC", help="input trace file (format auto-detected)")
+    convert_parser.add_argument("dst", metavar="DST", help="output trace file")
+    convert_parser.add_argument(
+        "--to",
+        dest="to_format",
+        choices=["jsonl", "chrome"],
+        help="output format (default: chrome unless DST ends in .jsonl)",
+    )
+
     hocl_parser = subparsers.add_parser("show-hocl", help="print the HOCL encoding of a workflow")
     hocl_parser.add_argument("workflow", help="path to the JSON workflow definition")
 
     return parser
 
 
-def _base_config(args: argparse.Namespace, failures: FailureModel | None = None) -> GinFlowConfig:
+def _base_config(
+    args: argparse.Namespace,
+    failures: FailureModel | None = None,
+    obs: Observability | None = None,
+) -> GinFlowConfig:
     return GinFlowConfig(
         mode=args.mode,
         executor=args.executor,
@@ -212,13 +270,38 @@ def _base_config(args: argparse.Namespace, failures: FailureModel | None = None)
         nodes=args.nodes,
         seed=args.seed,
         failures=failures if failures is not None else FailureModel(),
+        obs=obs,
     )
+
+
+def _build_observability(args: argparse.Namespace) -> Observability | None:
+    """The ``Observability`` bundle requested by ``--trace``, or ``None``."""
+    if not args.trace:
+        return None
+    if args.trace_format == "chrome":
+        # the Chrome export needs the whole record set: record in memory,
+        # write the file once the run finished
+        return Observability(tracer=RecordingTracer(), metrics=MetricsRegistry())
+    return Observability(tracer=JsonlTracer(args.trace), metrics=MetricsRegistry())
+
+
+def _finish_trace(args: argparse.Namespace, obs: Observability | None) -> None:
+    """Flush/convert the recorded trace once the run completed."""
+    if obs is None or obs.tracer is None:
+        return
+    if isinstance(obs.tracer, RecordingTracer):
+        write_trace(obs.tracer.records(), args.trace, args.trace_format)
+    obs.tracer.close()
 
 
 def _command_run(args: argparse.Namespace) -> int:
     workflow = _resolve_workflow_source(args)
     failures = FailureModel(probability=args.failure_probability, delay=args.failure_delay)
-    report = GinFlow(_base_config(args, failures)).run(workflow)
+    obs = _build_observability(args)
+    try:
+        report = GinFlow(_base_config(args, failures, obs)).run(workflow)
+    finally:
+        _finish_trace(args, obs)
     if args.json:
         print(json.dumps(report.summary(), indent=2))
     else:
@@ -276,13 +359,17 @@ def _command_sweep(args: argparse.Namespace) -> int:
             "a workflow source is required: a JSON file path, --scenario, "
             "or a swept --param scenario=NAME1,NAME2"
         )
-    report = GinFlow(_base_config(args)).sweep(
-        workflow,
-        ParameterGrid(grid_spec),
-        repeats=args.repeats,
-        workers=args.workers,
-        name="cli-sweep",
-    )
+    obs = _build_observability(args)
+    try:
+        report = GinFlow(_base_config(args, obs=obs)).sweep(
+            workflow,
+            ParameterGrid(grid_spec),
+            repeats=args.repeats,
+            workers=args.workers,
+            name="cli-sweep",
+        )
+    finally:
+        _finish_trace(args, obs)
     if args.csv:
         report.to_csv(args.csv)
     if args.json_out:
@@ -476,6 +563,26 @@ def _command_audit(args: argparse.Namespace) -> int:
     return 0 if report.ok(fail_on) else 1
 
 
+def _command_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "summarize":
+        records = read_trace(args.trace_path)
+        summary = summarize(records, top=args.top)
+        if args.json:
+            print(json.dumps(summary, indent=2))
+        else:
+            print(format_summary(summary))
+        return 0
+    if args.trace_command == "convert":
+        records = read_trace(args.src)
+        fmt = args.to_format
+        if fmt is None:
+            fmt = "jsonl" if args.dst.endswith(".jsonl") else "chrome"
+        write_trace(records, args.dst, fmt)
+        print(f"wrote {len(records)} records to {args.dst} ({fmt})")
+        return 0
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
 def _command_show_hocl(args: argparse.Namespace) -> int:
     workflow = workflow_from_json(args.workflow)
     encoding = encode_workflow(workflow)
@@ -491,6 +598,7 @@ _COMMANDS = {
     "validate": _command_validate,
     "lint": _command_lint,
     "audit": _command_audit,
+    "trace": _command_trace,
     "show-hocl": _command_show_hocl,
 }
 
@@ -499,6 +607,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point of the ``ginflow`` console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        configure_logging(args.log_level)
     command = _COMMANDS.get(args.command)
     if command is None:  # pragma: no cover - argparse enforces the choices
         return 2

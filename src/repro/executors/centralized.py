@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any
 
 from repro.hocl import (
@@ -71,6 +72,11 @@ class CentralizedExecutor:
         (:func:`~repro.hocl.parallel.reduce_sharded`) — same final
         solution, invocations may run concurrently, so services invoked
         this way must be thread-safe.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle: reduction-phase
+        spans land on the ``"centralized"`` track, every service call gets
+        an ``executor.invoke`` span on the task's track, and the invocation
+        counter feeds the metrics registry.
     """
 
     name = "centralized"
@@ -80,10 +86,14 @@ class CentralizedExecutor:
         registry: ServiceRegistry | None = None,
         max_steps: int = 1_000_000,
         reduction: Any = None,
+        obs: Any = None,
     ):
         self.registry = registry or ServiceRegistry()
         self.max_steps = max_steps
         self.policy = resolve_policy(reduction)
+        self.obs = obs
+        self.trace = obs.active_tracer() if obs is not None else None
+        self.metrics = obs.metrics if obs is not None else None
 
     def execute(self, workflow: Workflow) -> CentralizedOutcome:
         """Encode and run ``workflow`` to inertness; collect per-task results."""
@@ -112,7 +122,21 @@ class CentralizedExecutor:
                 metadata=task_encoding.metadata,
                 attempt=attempt,
             )
+            trace = self.trace
+            started = perf_counter() if trace is not None else 0.0
             outcome = service.invoke(list(parameters), context)
+            if trace is not None:
+                trace.span(
+                    "executor.invoke",
+                    task_name,
+                    started,
+                    perf_counter(),
+                    service=service_name,
+                    attempt=attempt,
+                    failed=outcome.failed,
+                )
+            if self.metrics is not None:
+                self.metrics.counter("executor.invocations").inc()
             if outcome.failed:
                 raise RuntimeError(outcome.error or "service invocation failed")
             return outcome.value
@@ -122,7 +146,11 @@ class CentralizedExecutor:
 
         def engine_factory() -> ReductionEngine:
             return ReductionEngine(
-                externals=externals, max_steps=self.max_steps, **self.policy.engine_options()
+                externals=externals,
+                max_steps=self.max_steps,
+                trace=self.trace,
+                trace_track="centralized",
+                **self.policy.engine_options(),
             )
 
         if self.policy.parallel:

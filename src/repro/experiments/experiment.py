@@ -200,9 +200,23 @@ class Experiment:
             return self.runner(workflow, config, cell)
         if workflow is None:
             raise ValueError("an Experiment without a custom runner needs a workflow")
+        from time import perf_counter
+
         from repro.runtime.ginflow import GinFlow
 
-        return GinFlow(config).run(workflow, timeout=self.timeout)
+        trace = config.obs.active_tracer() if config.obs is not None else None
+        started = perf_counter() if trace is not None else 0.0
+        report = GinFlow(config).run(workflow, timeout=self.timeout)
+        if trace is not None:
+            attrs = {
+                key: value
+                for key, value in cell.items()
+                if isinstance(value, (str, int, float, bool))
+            }
+            trace.span(
+                "sweep.cell", "sweep", started, perf_counter(), seed=config.seed, **attrs
+            )
+        return report
 
     def _split_cell(self, cell: dict[str, Any]) -> tuple[GinFlowConfig, dict[str, Any], int]:
         overrides: dict[str, Any] = {}

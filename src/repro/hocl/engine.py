@@ -46,6 +46,8 @@ from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable
 
+from repro.obs.tracer import Tracer, active as active_tracer
+
 from .atoms import Atom
 from .errors import ReductionError
 from .externals import ExternalRegistry, default_registry
@@ -263,6 +265,20 @@ class ReductionEngine:
         Both paths produce structurally identical final solutions and the
         same ``rule_fires``; ``ReductionReport.patched`` counts the
         reactions the delta path absorbed.
+    trace:
+        Optional :class:`~repro.obs.tracer.Tracer`: when active, every
+        timing window the engine accumulates into
+        :attr:`ReductionReport.timings` is also recorded as a span
+        (``reduction.match`` / ``reduction.rewrite`` / ``reduction.patch``,
+        with the index-maintenance share as an ``index_seconds`` attribute)
+        using the *same* ``perf_counter`` values — span totals therefore
+        reconcile with the report.  A disabled tracer is normalised to
+        ``None`` and costs one pointer check per window.  Tracing never
+        changes what reduction does: history, ``match_attempts`` and the
+        final solution are identical with and without it.
+    trace_track:
+        Trace track the spans land on (the hosting agent's name; the
+        centralised executor uses ``"centralized"``).
     """
 
     def __init__(
@@ -273,6 +289,8 @@ class ReductionEngine:
         incremental: bool = True,
         batch: bool = False,
         delta: bool = True,
+        trace: Tracer | None = None,
+        trace_track: str = "reduction",
     ):
         self.externals = externals if externals is not None else default_registry()
         self.max_steps = int(max_steps)
@@ -280,6 +298,8 @@ class ReductionEngine:
         self.incremental = bool(incremental)
         self.batch = bool(batch)
         self.delta = bool(delta)
+        self.trace = active_tracer(trace)
+        self.trace_track = trace_track
         #: per-solution frontier states of the batched engine, keyed by
         #: ``id(solution)``; the stored solution reference both keeps the id
         #: stable and detects a recycled id.
@@ -452,10 +472,16 @@ class ReductionEngine:
             match = self._find_match_excluding_self(rule, solution)
             if match is None:
                 continue
-            report.timings["match"] += perf_counter() - started
+            now = perf_counter()
+            report.timings["match"] += now - started
+            if self.trace is not None:
+                self.trace.span("reduction.match", self.trace_track, started, now, depth=depth, rule=rule.name)
             self._apply(rule, match, solution, depth, report)
             return True
-        report.timings["match"] += perf_counter() - started
+        now = perf_counter()
+        report.timings["match"] += now - started
+        if self.trace is not None:
+            self.trace.span("reduction.match", self.trace_track, started, now, depth=depth)
         return False
 
     def reduce_level_once(self, solution: Multiset, report: ReductionReport, depth: int = 0) -> bool:
@@ -589,13 +615,21 @@ class ReductionEngine:
                 if match is None:
                     break
                 if report.reactions >= self.max_steps:
-                    report.timings["match"] += perf_counter() - started
+                    now = perf_counter()
+                    report.timings["match"] += now - started
+                    if self.trace is not None:
+                        self.trace.span("reduction.match", self.trace_track, started, now, depth=depth)
                     return applied
                 for atom in match.consumed:
                     claimed[id(atom)] = atom
                 if rule.one_shot:
                     claimed[id(rule)] = rule
-                report.timings["match"] += perf_counter() - started
+                now = perf_counter()
+                report.timings["match"] += now - started
+                if self.trace is not None:
+                    self.trace.span(
+                        "reduction.match", self.trace_track, started, now, depth=depth, rule=rule.name
+                    )
                 removed, dirty, kept = self._apply(rule, match, solution, depth, report)
                 applied += 1
                 for atom in removed:
@@ -621,7 +655,10 @@ class ReductionEngine:
                 started = perf_counter()
                 if rule.one_shot:
                     break  # replace-one: the rule is gone
-        report.timings["match"] += perf_counter() - started
+        now = perf_counter()
+        report.timings["match"] += now - started
+        if self.trace is not None:
+            self.trace.span("reduction.match", self.trace_track, started, now, depth=depth)
         if applied:
             report.batches += 1
         if rescan:
@@ -687,8 +724,19 @@ class ReductionEngine:
                     solution.remove_identical(rule)
                 except KeyError:
                     solution.discard(rule)
-            report.timings["index"] += perf_counter() - patched_at
+            indexed_at = perf_counter()
+            report.timings["index"] += indexed_at - patched_at
             report.patched += 1
+            if self.trace is not None:
+                self.trace.span(
+                    "reduction.patch",
+                    self.trace_track,
+                    started,
+                    patched_at,
+                    rule=rule.name,
+                    depth=depth,
+                    index_seconds=indexed_at - patched_at,
+                )
             removed = applied.removed
             kept = applied.kept
             dirty = kept + applied.added
@@ -711,7 +759,18 @@ class ReductionEngine:
                     solution.discard(rule)
             for atom in products:
                 solution.add(atom)
-            report.timings["index"] += perf_counter() - produced_at
+            indexed_at = perf_counter()
+            report.timings["index"] += indexed_at - produced_at
+            if self.trace is not None:
+                self.trace.span(
+                    "reduction.rewrite",
+                    self.trace_track,
+                    started,
+                    produced_at,
+                    rule=rule.name,
+                    depth=depth,
+                    index_seconds=indexed_at - produced_at,
+                )
             removed = list(match.consumed)
             dirty = products
             kept = []

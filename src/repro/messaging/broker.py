@@ -21,9 +21,14 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from .message import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Observability
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.tracer import Tracer
 
 __all__ = ["BrokerProfile", "ACTIVEMQ_PROFILE", "KAFKA_PROFILE", "MessageLog", "Broker", "profile_by_name"]
 
@@ -133,6 +138,16 @@ class Broker:
     """Interface shared by every broker implementation."""
 
     profile: BrokerProfile
+    #: observability hooks, attached post-construction by the hosting
+    #: runtime (brokers are built through the backend registry with a fixed
+    #: signature); ``None`` — the default — records nothing.
+    trace: "Tracer | None" = None
+    metrics: "MetricsRegistry | None" = None
+
+    def attach_observability(self, obs: "Observability | None") -> None:
+        """Wire the run's tracer/metrics into this broker's publish path."""
+        self.trace = obs.active_tracer() if obs is not None else None
+        self.metrics = obs.metrics if obs is not None else None
 
     def publish(self, message: Message) -> None:
         """Publish ``message`` on its topic."""
@@ -187,6 +202,17 @@ class InProcessBroker(Broker):
             self._published += 1
             callbacks = list(self._subscribers.get(message.topic, []))
             self._delivered += len(callbacks)
+        if self.trace is not None:
+            self.trace.event(
+                "broker.publish", "broker", topic=message.topic, kind=message.kind, sender=message.sender
+            )
+            if callbacks:
+                self.trace.event(
+                    "broker.deliver", "broker", topic=message.topic, count=len(callbacks)
+                )
+        if self.metrics is not None:
+            self.metrics.counter("broker.published").inc()
+            self.metrics.counter("broker.delivered").inc(len(callbacks))
         for callback in callbacks:
             callback(message)
 

@@ -52,6 +52,12 @@ class SimulatedBroker(Broker):
     def publish(self, message: Message) -> None:
         """Publish ``message``; subscribers receive it after the modelled delays."""
         self._published += 1
+        if self.trace is not None:
+            self.trace.event(
+                "broker.publish", "broker", topic=message.topic, kind=message.kind, sender=message.sender
+            )
+        if self.metrics is not None:
+            self.metrics.counter("broker.published").inc()
         if self._log is not None:
             self._log.append(message)
         queue = self._queues[message.message_id % len(self._queues)]
@@ -72,6 +78,10 @@ class SimulatedBroker(Broker):
         # would mask exactly the accounting drift `ginflow audit` checks).
         callbacks = list(self._subscribers.get(message.topic, []))
         self._delivered += len(callbacks)
+        if callbacks and self.trace is not None:
+            self.trace.event("broker.deliver", "broker", topic=message.topic, count=len(callbacks))
+        if self.metrics is not None:
+            self.metrics.counter("broker.delivered").inc(len(callbacks))
         for callback in callbacks:
             callback(message)
 

@@ -1,0 +1,92 @@
+"""``repro.obs`` — structured tracing, metrics and logging for every run.
+
+The observability substrate every layer instruments against:
+
+* :class:`Tracer` and its implementations (:class:`NullTracer` — the
+  zero-overhead default, :class:`RecordingTracer`, streaming
+  :class:`JsonlTracer`), recording spans/events stamped with
+  ``perf_counter`` wall time and, under the simulated runtime, virtual
+  time;
+* :class:`MetricsRegistry` — counters/gauges/histograms snapshotted into
+  ``RunReport.extra["metrics"]``;
+* the trace file formats (native JSONL and Chrome trace-event for
+  Perfetto) and the rollups behind ``ginflow trace summarize``;
+* stdlib-logging wiring (``repro.*`` logger namespace, NullHandler
+  default, ``ginflow --log-level``).
+
+An :class:`Observability` bundle (tracer + metrics) rides on
+:class:`~repro.runtime.config.GinFlowConfig` and is threaded by each
+runtime into the agents, the reduction engines, the brokers and the
+executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .export import (
+    from_chrome,
+    read_jsonl,
+    read_trace,
+    to_chrome,
+    write_chrome,
+    write_jsonl,
+    write_trace,
+)
+from .logs import configure_logging, get_logger
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .summarize import format_summary, summarize
+from .tracer import (
+    EventRecord,
+    JsonlTracer,
+    NullTracer,
+    RecordingTracer,
+    SpanRecord,
+    Tracer,
+    active,
+    record_from_json,
+)
+
+__all__ = [
+    "Observability",
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "JsonlTracer",
+    "SpanRecord",
+    "EventRecord",
+    "record_from_json",
+    "active",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "read_trace",
+    "read_jsonl",
+    "write_trace",
+    "write_jsonl",
+    "write_chrome",
+    "to_chrome",
+    "from_chrome",
+    "summarize",
+    "format_summary",
+    "get_logger",
+    "configure_logging",
+]
+
+
+@dataclass
+class Observability:
+    """The per-run observability bundle: one tracer, one metrics registry.
+
+    ``Observability()`` is fully enabled (a recording tracer would still
+    need to be supplied); the *absence* of a bundle — ``config.obs is
+    None``, the default — is the zero-overhead off state.
+    """
+
+    tracer: Tracer | None = None
+    metrics: MetricsRegistry | None = field(default_factory=MetricsRegistry)
+
+    def active_tracer(self) -> Tracer | None:
+        """The tracer normalised for hot-seam guards (see :func:`active`)."""
+        return active(self.tracer)

@@ -1,0 +1,190 @@
+"""Trace file formats: JSONL (native) and Chrome trace-event (Perfetto).
+
+The native format is one JSON object per line (the streaming
+:class:`~repro.obs.tracer.JsonlTracer` output).  The Chrome format is the
+``traceEvents`` JSON consumed by Perfetto / ``chrome://tracing``: every
+track becomes one thread (``tid``) named through a ``thread_name`` metadata
+event, spans are complete events (``ph: "X"``) and instants are ``ph: "i"``.
+Timestamps convert seconds → microseconds (kept as floats, so a round-trip
+through both formats preserves them to float precision).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+from .tracer import EventRecord, SpanRecord, record_from_json
+
+__all__ = [
+    "write_jsonl",
+    "read_jsonl",
+    "to_chrome",
+    "from_chrome",
+    "write_chrome",
+    "read_trace",
+    "write_trace",
+]
+
+TraceRecord = SpanRecord | EventRecord
+
+_CATEGORY = "repro"
+_PID = 0
+
+
+def write_jsonl(records: Iterable[TraceRecord], path: str) -> None:
+    """Write ``records`` as native JSONL (one record object per line)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record.to_json(), default=str) + "\n")
+
+
+def read_jsonl(path: str) -> list[TraceRecord]:
+    """Read a native JSONL trace file."""
+    records: list[TraceRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(record_from_json(json.loads(line)))
+    return records
+
+
+def _track_ids(records: Iterable[TraceRecord]) -> dict[str, int]:
+    """One ``tid`` per track, in order of first appearance (1-based)."""
+    tids: dict[str, int] = {}
+    for record in records:
+        if record.track not in tids:
+            tids[record.track] = len(tids) + 1
+    return tids
+
+
+def to_chrome(records: list[TraceRecord]) -> dict[str, Any]:
+    """Convert records to a Chrome trace-event object (Perfetto-loadable)."""
+    tids = _track_ids(records)
+    events: list[dict[str, Any]] = []
+    for track, tid in tids.items():
+        events.append(
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": track},
+            }
+        )
+    for record in records:
+        args = dict(record.attrs)
+        if record.vt is not None:
+            args["vt"] = record.vt
+        if isinstance(record, SpanRecord):
+            events.append(
+                {
+                    "ph": "X",
+                    "name": record.name,
+                    "cat": _CATEGORY,
+                    "pid": _PID,
+                    "tid": tids[record.track],
+                    "ts": record.start * 1e6,
+                    "dur": (record.end - record.start) * 1e6,
+                    "args": args,
+                }
+            )
+        else:
+            events.append(
+                {
+                    "ph": "i",
+                    "name": record.name,
+                    "cat": _CATEGORY,
+                    "pid": _PID,
+                    "tid": tids[record.track],
+                    "ts": record.time * 1e6,
+                    "s": "t",
+                    "args": args,
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def from_chrome(payload: dict[str, Any]) -> list[TraceRecord]:
+    """Rebuild records from a Chrome trace-event object."""
+    trace_events = payload.get("traceEvents", [])
+    tracks: dict[int, str] = {}
+    for event in trace_events:
+        if event.get("ph") == "M" and event.get("name") == "thread_name":
+            tracks[int(event.get("tid", 0))] = str(event.get("args", {}).get("name", ""))
+    records: list[TraceRecord] = []
+    for event in trace_events:
+        phase = event.get("ph")
+        if phase not in ("X", "i"):
+            continue
+        tid = int(event.get("tid", 0))
+        track = tracks.get(tid, f"track-{tid}")
+        args = dict(event.get("args", {}))
+        vt = args.pop("vt", None)
+        if phase == "X":
+            start = float(event["ts"]) / 1e6
+            records.append(
+                SpanRecord(
+                    name=str(event.get("name", "")),
+                    track=track,
+                    start=start,
+                    end=start + float(event.get("dur", 0.0)) / 1e6,
+                    vt=vt,
+                    attrs=args,
+                )
+            )
+        else:
+            records.append(
+                EventRecord(
+                    name=str(event.get("name", "")),
+                    track=track,
+                    time=float(event["ts"]) / 1e6,
+                    vt=vt,
+                    attrs=args,
+                )
+            )
+    return records
+
+
+def write_chrome(records: list[TraceRecord], path: str) -> None:
+    """Write ``records`` as a Chrome trace-event JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_chrome(records), handle, default=str)
+
+
+def read_trace(path: str) -> list[TraceRecord]:
+    """Read a trace file, auto-detecting the format.
+
+    A file whose whole body parses as one JSON object with ``traceEvents``
+    is a Chrome trace; anything else is treated as native JSONL.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        body = handle.read()
+    stripped = body.lstrip()
+    if stripped.startswith("{"):
+        try:
+            payload = json.loads(body)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict) and "traceEvents" in payload:
+            return from_chrome(payload)
+        if isinstance(payload, dict) and "type" in payload:
+            # a single-record JSONL file also parses as one object
+            return [record_from_json(payload)]
+    records: list[TraceRecord] = []
+    for line in body.splitlines():
+        line = line.strip()
+        if line:
+            records.append(record_from_json(json.loads(line)))
+    return records
+
+
+def write_trace(records: list[TraceRecord], path: str, fmt: str = "jsonl") -> None:
+    """Write ``records`` in the requested format (``jsonl`` or ``chrome``)."""
+    if fmt == "jsonl":
+        write_jsonl(records, path)
+    elif fmt == "chrome":
+        write_chrome(records, path)
+    else:
+        raise ValueError(f"unknown trace format {fmt!r} (expected 'jsonl' or 'chrome')")

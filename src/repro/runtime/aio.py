@@ -29,15 +29,14 @@ from __future__ import annotations
 
 import asyncio
 import inspect
-import sys
 import time
-import traceback
 from dataclasses import dataclass, replace
 from typing import Any
 
 from repro.agents import AgentCore
 from repro.hoclflow.translator import encode_workflow
 from repro.messaging import InProcessBroker, agent_topic
+from repro.obs.logs import get_logger
 from repro.workflow.dag import Workflow
 
 from .backends import get_backend, register_runtime
@@ -48,6 +47,8 @@ from .results import RunReport
 __all__ = ["AsyncioRun", "run_asyncio"]
 
 _POISON: Any = object()
+
+logger = get_logger("runtime.aio")
 
 
 @dataclass
@@ -86,6 +87,8 @@ class AsyncioRun:
         broker_backend = get_backend("broker", self.config.broker)
         broker_cls = broker_backend.capability("broker_class", InProcessBroker)
         broker = broker_cls(self.config.broker_profile())
+        broker.attach_observability(self.config.obs)
+        tracer = self.config.obs.active_tracer() if self.config.obs is not None else None
         self._done = asyncio.Event()
         engine = EnactmentEngine(
             config=self.config,
@@ -108,7 +111,10 @@ class AsyncioRun:
         self._reducer = policy.make_reducer()
         for name, task_encoding in encoding.tasks.items():
             agent = engine.add_host(
-                _AsyncAgent(encoding=task_encoding, core=AgentCore(task_encoding, reduction=policy))
+                _AsyncAgent(
+                    encoding=task_encoding,
+                    core=AgentCore(task_encoding, reduction=policy, trace=tracer),
+                )
             )
             agent.queue = asyncio.Queue()
             agent.lock = asyncio.Lock()
@@ -135,8 +141,9 @@ class AsyncioRun:
             if isinstance(outcome, BaseException) and not isinstance(outcome, asyncio.CancelledError):
                 # an agent task died on a protocol bug: surface the traceback
                 # (mirrors the threaded runtime's thread excepthook output)
-                print(f"exception in asyncio agent task {agent.name!r}:", file=sys.stderr)
-                traceback.print_exception(type(outcome), outcome, outcome.__traceback__)
+                logger.error(
+                    "exception in asyncio agent task %r:", agent.name, exc_info=outcome
+                )
         for pending in list(self._invocations):
             pending.cancel()
         if self._reducer is not None:
@@ -200,8 +207,9 @@ class AsyncioRun:
             return
         exc = task.exception()
         if exc is not None:
-            print(f"exception in asyncio invocation task {task.get_name()!r}:", file=sys.stderr)
-            traceback.print_exception(type(exc), exc, exc.__traceback__)
+            logger.error(
+                "exception in asyncio invocation task %r:", task.get_name(), exc_info=exc
+            )
 
     async def _run_invocation(self, agent: _AsyncAgent, prepared: PreparedInvocation) -> None:
         scale = self.config.threaded_time_scale

@@ -27,6 +27,7 @@ from typing import Any
 
 from repro.cluster.network import NetworkModel
 from repro.cluster.node import Cluster
+from repro.obs import Observability
 from repro.services import NO_FAILURES, FailureModel, ServiceRegistry
 
 from . import backends
@@ -82,6 +83,12 @@ class GinFlowConfig:
         Whether to keep the per-task event timeline in the report.
     max_virtual_time:
         Safety horizon of the simulation clock.
+    obs:
+        Optional :class:`~repro.obs.Observability` bundle (tracer +
+        metrics registry); ``None`` — the default — is the zero-overhead
+        off state.  When present, every runtime threads the tracer into
+        its agents, reduction engines, broker and executor, and the
+        metrics snapshot lands in ``RunReport.extra["metrics"]``.
     """
 
     mode: str = "simulated"
@@ -99,6 +106,7 @@ class GinFlowConfig:
     threaded_time_scale: float = 0.0
     collect_timeline: bool = True
     max_virtual_time: float = 1_000_000.0
+    obs: Observability | None = None
 
     def __post_init__(self) -> None:
         self.validate()

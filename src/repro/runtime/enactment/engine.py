@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.agents import Coordinator, SendAdapt, SendResult, StartInvocation, StatusUpdate
@@ -36,6 +37,8 @@ from repro.agents.core import AgentCore
 from repro.agents.recovery import rebuild_agent
 from repro.hoclflow.translator import TaskEncoding, WorkflowEncoding
 from repro.messaging import Message, MessageKind, STATUS_TOPIC, adapt_count, agent_topic
+from repro.obs import Observability
+from repro.obs.tracer import Tracer
 from repro.services import InvocationContext, InvocationResult, Service
 
 from ..results import RunReport
@@ -86,6 +89,9 @@ class PreparedInvocation:
     service: Service
     parameters: list[Any]
     context: InvocationContext
+    #: attached by the engine when tracing is on; every runtime's `invoke`
+    #: call then records the invocation span identically
+    trace: Tracer | None = None
 
     def invoke(self) -> InvocationResult:
         """Run the service call itself (pure; no engine bookkeeping).
@@ -97,15 +103,28 @@ class PreparedInvocation:
         no error attributed to the task.  The exception is converted into a
         failed result here so all runtimes inherit the same behaviour.
         """
+        trace = self.trace
+        started = perf_counter() if trace is not None else 0.0
         try:
-            return self.service.invoke(self.parameters, self.context)
+            outcome = self.service.invoke(self.parameters, self.context)
         except Exception as exc:  # noqa: BLE001 - converted into a task failure
-            return InvocationResult(
+            outcome = InvocationResult(
                 value=None,
                 duration=self.context.duration,
                 failed=True,
                 error=f"{type(exc).__name__}: {exc}",
             )
+        if trace is not None:
+            trace.span(
+                "enactment.invoke",
+                self.host.name,
+                started,
+                perf_counter(),
+                service=getattr(self.service, "name", type(self.service).__name__),
+                attempt=self.context.attempt,
+                failed=outcome.failed,
+            )
+        return outcome
 
 
 class EnactmentEngine:
@@ -121,6 +140,7 @@ class EnactmentEngine:
         invoker: Callable[[AgentHost, PreparedInvocation], None],
         on_complete: Callable[[float], None] | None = None,
         report: RunReport | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.config = config
         self.encoding = encoding
@@ -129,6 +149,9 @@ class EnactmentEngine:
         self._invoker = invoker
         self.registry = config.build_registry()
         self.report = report if report is not None else RunReport()
+        self.obs = obs if obs is not None else config.obs
+        self._trace = self.obs.active_tracer() if self.obs is not None else None
+        self._metrics = self.obs.metrics if self.obs is not None else None
         # Tasks whose failure triggers an adaptation must not fail-fast the
         # run: their ERROR is the *start* of the recovery, not the end.
         adaptable = {name for name, task in encoding.tasks.items() if task.trigger_plans}
@@ -174,6 +197,8 @@ class EnactmentEngine:
         host.finished_at = self.clock.now()
         if outcome.failed:
             host.failures += 1
+            if self._metrics is not None:
+                self._metrics.counter("enactment.invocation_failures").inc()
             return host.core.invocation_failed(outcome.error)
         return host.core.invocation_succeeded(outcome.value)
 
@@ -182,6 +207,12 @@ class EnactmentEngine:
         """Execute the actions one reduction emitted (the protocol's I/O)."""
         costs = self.config.costs
         for action in actions:
+            if self._trace is not None:
+                self._trace.event(
+                    "enactment.dispatch", host.name, action=type(action).__name__
+                )
+            if self._metrics is not None:
+                self._metrics.counter("enactment.actions").inc()
             if isinstance(action, SendResult):
                 self.transport.publish(
                     Message(
@@ -237,7 +268,10 @@ class EnactmentEngine:
                 metadata=host.encoding.metadata,
                 attempt=host.attempts,
             ),
+            trace=self._trace,
         )
+        if self._metrics is not None:
+            self._metrics.counter("enactment.invocations").inc()
         self._invoker(host, prepared)
 
     # --------------------------------------------------------------- status
@@ -248,6 +282,10 @@ class EnactmentEngine:
 
     def record_status(self, task: str, status: dict[str, Any]) -> None:
         """Apply one status payload at the current clock time (thread-safe)."""
+        if self._trace is not None:
+            self._trace.event("enactment.status", task, state=status.get("state"))
+        if self._metrics is not None:
+            self._metrics.counter("enactment.status_updates").inc()
         with self._lock:
             self.coordinator.record_status(task, status, time=self.clock.now())
 

@@ -86,4 +86,6 @@ class ReportAssembler:
                 report.results[name] = outcome.result
         if engine.config.collect_timeline:
             report.timeline = list(coordinator.timeline)
+        if engine.obs is not None and engine.obs.metrics is not None:
+            report.extra["metrics"] = engine.obs.metrics.snapshot()
         return report

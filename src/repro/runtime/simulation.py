@@ -86,6 +86,11 @@ class SimulatedRun:
             randomness=self._randomness.spawn("broker"),
             dispatchers=costs.broker_dispatchers,
         )
+        tracer = config.obs.active_tracer() if config.obs is not None else None
+        if tracer is not None:
+            # Stamp every record with the virtual instant it happened at.
+            tracer.vt_source = lambda: self._sim.now
+        broker.attach_observability(config.obs)
         engine = EnactmentEngine(
             config=config,
             encoding=encoding,
@@ -108,7 +113,7 @@ class SimulatedRun:
             agent = engine.add_host(
                 _SimAgent(
                     encoding=encoding.tasks[name],
-                    core=AgentCore(encoding.tasks[name], reduction=policy),
+                    core=AgentCore(encoding.tasks[name], reduction=policy, trace=tracer),
                     node=plan.placement.get(name, "unknown"),
                     serial=SerialQueue(self._sim, name=f"agent-{name}"),
                 )

@@ -68,6 +68,8 @@ class ThreadedRun:
         broker_backend = get_backend("broker", self.config.broker)
         broker_cls = broker_backend.capability("broker_class", InProcessBroker)
         broker = broker_cls(self.config.broker_profile())
+        broker.attach_observability(self.config.obs)
+        tracer = self.config.obs.active_tracer() if self.config.obs is not None else None
         engine = EnactmentEngine(
             config=self.config,
             encoding=encoding,
@@ -88,7 +90,7 @@ class ThreadedRun:
             agent = engine.add_host(
                 _ThreadedAgent(
                     encoding=task_encoding,
-                    core=AgentCore(task_encoding, reduction=policy, reducer=reducer),
+                    core=AgentCore(task_encoding, reduction=policy, reducer=reducer, trace=tracer),
                 )
             )
             broker.subscribe(agent_topic(name), agent.inbox.put)

@@ -1,4 +1,4 @@
-"""The built-in scenario catalog — eight structurally distinct DAG families.
+"""The built-in scenario catalog — nine structurally distinct DAG families.
 
 Each generator is registered on the global scenario registry
 (:mod:`repro.scenarios.registry`) and produces a seed-deterministic
@@ -23,6 +23,11 @@ The other four are synthetic stress shapes:
 * ``forkjoin``       — a chain of fork-join stages,
 * ``longchain``      — one maximal-depth sequential chain.
 
+``montage`` wraps the paper's own resilience-experiment workflow
+(:func:`repro.workflow.montage.montage_workflow`, Section V-D): ten fixed
+pipeline tasks around a wide heterogeneous projection stage, at its default
+size the exact 118-task shape of Fig. 15.
+
 Every task carries cost-profile metadata (``scenario``, ``stage``,
 ``cost_class``, ``level``) and the scenario's failure profile (notably
 ``idempotent`` so the recovery mechanism may replay it), and every duration
@@ -37,6 +42,7 @@ import random
 from typing import Any, Mapping
 
 from repro.workflow.dag import Task, Workflow
+from repro.workflow.montage import montage_workflow
 
 from .registry import ScenarioError, register_scenario
 
@@ -49,6 +55,7 @@ __all__ = [
     "mapreduce_workflow",
     "forkjoin_workflow",
     "longchain_workflow",
+    "montage_scenario",
 ]
 
 #: Failure profile shared by the whole catalog: synthetic services are pure,
@@ -426,6 +433,62 @@ def forkjoin_workflow(size: int = 20, seed: int = 0, width: int = 4) -> Workflow
             builder.dep(worker, join)
         previous = join
     return builder.workflow
+
+
+def _topological_levels(workflow: Workflow) -> dict[str, int]:
+    """Longest-path depth of every task (entry tasks are level 0)."""
+    predecessors: dict[str, list[str]] = {}
+    for source, destination in workflow.dependencies():
+        predecessors.setdefault(destination, []).append(source)
+    levels: dict[str, int] = {}
+    for name in workflow.topological_order():
+        levels[name] = max((levels[parent] + 1 for parent in predecessors.get(name, [])), default=0)
+    return levels
+
+
+#: Stage duration bounds of the Montage pipeline — the fixed-duration tasks
+#: of :mod:`repro.workflow.montage` plus the paper's 60–310 s projection range.
+_MONTAGE_COSTS = {
+    "prepare": (5.0, 8.0),
+    "project": (60.0, 310.0),
+    "table": (12.0, 12.0),
+    "diff": (25.0, 25.0),
+    "background": (20.0, 30.0),
+    "merge": (65.0, 65.0),
+    "publish": (10.0, 10.0),
+}
+
+
+@register_scenario(
+    "montage",
+    structure="prepare pair -> N parallel projections -> image table -> 3 diff-fits "
+    "-> background pair -> co-add -> publish",
+    cost_profile=_MONTAGE_COSTS,
+    failure_profile=_IDEMPOTENT,
+    tags=("paper", "astronomy", "fan-out", "fan-in", "heterogeneous"),
+)
+def montage_scenario(size: int = 118, seed: int = 0) -> Workflow:
+    """The paper's Montage mosaic (Section V-D, Fig. 15): ten fixed pipeline
+    tasks around a wide heterogeneous projection stage; ``size=118`` is the
+    exact published shape."""
+    _check_size(size, 10)
+    projections = max(2, size - 10)
+    workflow = montage_workflow(
+        projections=projections, seed=seed, name=f"montage-{projections}-s{seed}"
+    )
+    # montage_workflow stamps stage/idempotent; the catalog contract also
+    # wants scenario/cost_class/level on every task
+    levels = _topological_levels(workflow)
+    for task in workflow:
+        task.metadata.update(
+            {
+                "scenario": "montage",
+                "cost_class": task.metadata["stage"],
+                "level": levels[task.name],
+                **_IDEMPOTENT,
+            }
+        )
+    return workflow
 
 
 _LONGCHAIN_COSTS = {

@@ -1,6 +1,8 @@
 """Tests for the command line interface and the benchmark harnesses."""
 
 import json
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -93,6 +95,55 @@ class TestBenchHelpers:
         assert mean([]) == 0.0
         assert std([2, 2, 2]) == 0.0
         assert std([1]) == 0.0
+
+
+class TestCollateTrendPlot:
+    @staticmethod
+    def _artifact(wall):
+        return {
+            "benchmark": "hocl-reduction",
+            "schema_version": 4,
+            "scenarios": {
+                "montage-100-centralized": {
+                    "reactions": 100,
+                    "incremental": {"match_attempts": 10, "wall_seconds": wall},
+                    "naive": {"match_attempts": 99, "wall_seconds": wall * 10},
+                    "speedup": {"match_attempts": 9.9, "wall_clock": 10.0},
+                    "modes": {
+                        "serial": {
+                            "match_attempts": 10,
+                            "wall_seconds": wall,
+                            "timings": {
+                                "match": wall * 0.5, "rewrite": wall * 0.2,
+                                "patch": wall * 0.2, "index": wall * 0.1,
+                            },
+                        }
+                    },
+                }
+            },
+        }
+
+    def test_plot_renders_svg(self, tmp_path):
+        bench_dir = str(Path(__file__).resolve().parent.parent / "benchmarks")
+        sys.path.insert(0, bench_dir)
+        try:
+            import collate_trend
+        finally:
+            sys.path.remove(bench_dir)
+        for sha, wall in (("aaaaaaa", 1.0), ("bbbbbbb", 1.2)):
+            (tmp_path / f"BENCH_reduction-{sha}.json").write_text(
+                json.dumps(self._artifact(wall))
+            )
+        svg = tmp_path / "trend.svg"
+        assert collate_trend.main(
+            [str(tmp_path), "--order", "name", "--plot", str(svg)]
+        ) == 0
+        body = svg.read_text()
+        assert body.startswith("<svg")
+        assert "reduction wall seconds per commit" in body
+        assert "phase split: montage-100-centralized [serial]" in body
+        # one wall polyline + four phase polylines
+        assert body.count("<polyline") == 5
 
 
 class TestHarnesses:

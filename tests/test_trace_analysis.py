@@ -25,9 +25,11 @@ from repro.analysis import (
     registry,
 )
 from repro.agents.coordinator import TimelineEvent
+from repro.analysis.obs_checks import ObsScope, reduction_phase_totals
 from repro.analysis.plan_checks import PlanScope
 from repro.analysis.trace import enactment_rules
 from repro.analysis.trace_checks import conditional_rule_names
+from repro.obs import EventRecord, SpanRecord
 from repro.cli import main
 from repro.hocl import Ref, Symbol, Var, replace
 from repro.hocl.engine import ReductionReport
@@ -251,6 +253,107 @@ class TestTamperedRunReport:
         assert findings_for(audit_run(run), "run-status-ordering")
 
 
+# ----------------------------------------------------------------- obs checks
+def run_obs_check(check_id, scope):
+    checks = {check.id: check for check in available_checks()}
+    return list(checks[check_id].run(scope))
+
+
+class TestObsChecks:
+    def test_span_ending_before_start_is_flagged(self):
+        scope = ObsScope(
+            label="fixture",
+            spans=(SpanRecord(name="agent.boot", track="a", start=2.0, end=1.0),),
+        )
+        (finding,) = run_obs_check("obs-span-unclosed", scope)
+        assert finding.severity is Severity.ERROR
+        assert "before it starts" in finding.message
+
+    def test_orphan_reduction_span_is_flagged(self):
+        # track "a" has a stimulus window, but the match span lives outside it
+        scope = ObsScope(
+            label="fixture",
+            spans=(
+                SpanRecord(name="agent.boot", track="a", start=0.0, end=1.0),
+                SpanRecord(name="reduction.match", track="a", start=2.0, end=3.0),
+            ),
+        )
+        (finding,) = run_obs_check("obs-span-unclosed", scope)
+        assert finding.subject == "reduction.match"
+        assert "not nested" in finding.message
+
+    def test_stimulus_free_tracks_skip_the_nesting_check(self):
+        # the centralized track records reduction spans with no agent spans
+        scope = ObsScope(
+            label="fixture",
+            spans=(SpanRecord(name="reduction.match", track="centralized", start=0.0, end=1.0),),
+        )
+        assert run_obs_check("obs-span-unclosed", scope) == []
+
+    def test_broker_event_counts_must_match_report(self):
+        run = RunReport(succeeded=True, messages_published=2, messages_delivered=3)
+        scope = ObsScope(
+            label="fixture",
+            events=(
+                EventRecord(name="broker.publish", track="broker", time=0.1),
+                EventRecord(name="broker.deliver", track="broker", time=0.2, attrs={"count": 2}),
+            ),
+            report=run,
+        )
+        findings = run_obs_check("obs-broker-accounting", scope)
+        assert len(findings) == 2
+        assert all(f.severity is Severity.ERROR for f in findings)
+        assert any("broker.publish" in f.message for f in findings)
+        assert any("broker.deliver" in f.message for f in findings)
+
+    def test_broker_check_skips_without_report_or_events(self):
+        events = (EventRecord(name="broker.publish", track="broker", time=0.1),)
+        assert run_obs_check("obs-broker-accounting", ObsScope(label="f", events=events)) == []
+        run = RunReport(succeeded=True, messages_published=5)
+        assert run_obs_check("obs-broker-accounting", ObsScope(label="f", report=run)) == []
+
+    def test_reduction_totals_must_reconcile(self):
+        run = RunReport(succeeded=True)
+        run.extra["reduction_timings"] = {"match": 0.5, "rewrite": 0.0, "patch": 0.0, "index": 0.0}
+        spans = (SpanRecord(name="reduction.match", track="a", start=0.0, end=0.3),)
+        (finding,) = run_obs_check(
+            "obs-reduction-reconcile", ObsScope(label="f", spans=spans, report=run)
+        )
+        assert finding.subject == "match"
+        assert "0.300000000" in finding.message and "0.500000000" in finding.message
+
+    def test_reconciling_totals_are_clean(self):
+        spans = (
+            SpanRecord(name="reduction.match", track="a", start=0.0, end=0.3),
+            SpanRecord(
+                name="reduction.rewrite", track="a", start=0.3, end=0.5,
+                attrs={"index_seconds": 0.1},
+            ),
+        )
+        totals = reduction_phase_totals(spans)
+        run = RunReport(succeeded=True)
+        run.extra["reduction_timings"] = totals
+        scope = ObsScope(label="f", spans=spans, report=run)
+        assert run_obs_check("obs-reduction-reconcile", scope) == []
+        assert totals == pytest.approx(
+            {"match": 0.3, "rewrite": 0.2, "patch": 0.0, "index": 0.1}
+        )
+
+    def test_reconcile_skips_without_timings_or_spans(self):
+        run = RunReport(succeeded=True)
+        spans = (SpanRecord(name="reduction.match", track="a", start=0.0, end=0.3),)
+        assert run_obs_check("obs-reduction-reconcile", ObsScope(label="f", spans=spans, report=run)) == []
+        run.extra["reduction_timings"] = {"match": 0.5}
+        assert run_obs_check("obs-reduction-reconcile", ObsScope(label="f", report=run)) == []
+
+    def test_audited_runs_record_clean_traces(self):
+        # audit_workflow wires a RecordingTracer per repeat; a clean workflow
+        # must produce zero obs findings across the whole composition
+        report = audit_workflow(diamond_workflow(2, 2, duration=0.05))
+        for check_id in ("obs-span-unclosed", "obs-broker-accounting", "obs-reduction-reconcile"):
+            assert not findings_for(report, check_id), check_id
+
+
 # ---------------------------------------------------- adaptation-plan checks
 def tampering_build_plan(tamper):
     """A ``build_plan`` stand-in that corrupts the real plan after building."""
@@ -462,4 +565,7 @@ class TestDynamicCheckRegistry:
             "plan-adapt-consumers",
             "plan-trigger-wiring",
             "plan-replay-parity",
+            "obs-span-unclosed",
+            "obs-broker-accounting",
+            "obs-reduction-reconcile",
         } <= ids
